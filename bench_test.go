@@ -1,0 +1,290 @@
+// Benchmarks regenerating the paper's evaluation (§7) under `go test
+// -bench`: one benchmark per table/figure, plus ablations. Each benchmark
+// pumps b.N packets through a freshly deployed system under test with a
+// bounded in-flight window (sustainable-rate methodology), so ns/op is the
+// per-packet cost and the reported pps metric is the throughput; figures
+// appear as sub-benchmarks over their sweep parameters.
+//
+// Absolute numbers come from an in-process fabric, not the paper's 40 GbE
+// testbed — compare shapes (who wins, how things scale), not magnitudes.
+package ftc
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/exp"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// pump drives exactly b.N packets through the SUT with a bounded in-flight
+// window and waits for them all to exit.
+func pump(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int, packetSize int) {
+	b.Helper()
+	p := exp.Params{Flows: 64, PacketSize: packetSize}
+	s, err := exp.BuildSUT(kind, factory, p, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+
+	const window = 512
+	start := time.Now()
+	b.ResetTimer()
+	sent := uint64(0)
+	for sent < uint64(b.N) {
+		for sent < uint64(b.N) && sent-s.Sink.Received() < window {
+			s.Gen.SendOne(int(sent))
+			sent++
+		}
+		if sent-s.Sink.Received() >= window {
+			runtime.Gosched()
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Sink.Received() < uint64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("egress %d of %d", s.Sink.Received(), b.N)
+		}
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "pps")
+	}
+}
+
+// BenchmarkTable2 measures the per-packet cost of each FTC element
+// (Table 2: performance breakdown for MazuNAT in a chain of two).
+func BenchmarkTable2(b *testing.B) {
+	nat := exp.MazuNATPair()(8)[0]
+	pkt, err := wire.BuildUDP(wire.UDPSpec{
+		SrcMAC: wire.MAC{2, 0, 0, 0, 0, 1}, DstMAC: wire.MAC{2, 0, 0, 0, 0, 2},
+		Src: wire.Addr4(10, 0, 0, 1), Dst: wire.Addr4(1, 2, 3, 4),
+		SrcPort: 5555, DstPort: 80, Payload: make([]byte, 214), Headroom: 512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	components := []struct {
+		name string
+		get  func(core.Breakdown) time.Duration
+	}{
+		{"PacketProcessing", func(d core.Breakdown) time.Duration { return d.PacketProcessing }},
+		{"Locking", func(d core.Breakdown) time.Duration { return d.Locking }},
+		{"CopyPiggybackedState", func(d core.Breakdown) time.Duration { return d.CopyPiggyback }},
+		{"Forwarder", func(d core.Breakdown) time.Duration { return d.Forwarder }},
+		{"Buffer", func(d core.Breakdown) time.Duration { return d.Buffer }},
+	}
+	for _, c := range components {
+		b.Run(c.name, func(b *testing.B) {
+			bd, err := core.MeasureBreakdown(nat, pkt.Buf, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(c.get(bd).Nanoseconds()), "ns/pkt")
+			b.ReportMetric(float64(c.get(bd).Nanoseconds())*2.0, "cycles@2GHz")
+		})
+	}
+}
+
+// BenchmarkFig5 sweeps Gen's state size across packet sizes under FTC
+// (Figure 5: throughput vs state size).
+func BenchmarkFig5(b *testing.B) {
+	// Endpoint sweep; `ftclab fig5` runs the paper's full grid.
+	for _, ps := range []int{128, 512} {
+		for _, ss := range []int{16, 256} {
+			b.Run(fmt.Sprintf("pkt%d/state%d", ps, ss), func(b *testing.B) {
+				pump(b, exp.FTC, exp.SingleGen(ss), 1, ps)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 sweeps Monitor's sharing level for NF/FTC/FTMB (Figure 6).
+func BenchmarkFig6(b *testing.B) {
+	// Endpoint sharing levels; `ftclab fig6` runs the full sweep.
+	for _, kind := range []exp.Kind{exp.NF, exp.FTC, exp.FTMB} {
+		for _, sharing := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/share%d", kind, sharing), func(b *testing.B) {
+				pump(b, kind, exp.SingleMonitor(sharing), 8, 256)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 sweeps MazuNAT's thread count for NF/FTC/FTMB (Figure 7).
+func BenchmarkFig7(b *testing.B) {
+	// Endpoint thread counts; `ftclab fig7` runs the full sweep.
+	for _, kind := range []exp.Kind{exp.NF, exp.FTC, exp.FTMB} {
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/threads%d", kind, workers), func(b *testing.B) {
+				pump(b, kind, exp.SingleMazuNAT(), workers, 256)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 measures per-packet latency through each system at a
+// sustainable load (Figure 8's flat region); ns/op here is the full chain
+// traversal latency because the window is 1 (closed loop).
+func BenchmarkFig8(b *testing.B) {
+	cases := []struct {
+		name    string
+		factory exp.MBFactory
+		workers int
+	}{
+		{"MonitorShare8", exp.SingleMonitor(8), 8},
+		{"MazuNAT1Thread", exp.SingleMazuNAT(), 1},
+		{"MazuNAT8Threads", exp.SingleMazuNAT(), 8},
+	}
+	for _, c := range cases {
+		for _, kind := range []exp.Kind{exp.NF, exp.FTC, exp.FTMB} {
+			b.Run(fmt.Sprintf("%s/%s", c.name, kind), func(b *testing.B) {
+				closedLoop(b, kind, c.factory, c.workers)
+			})
+		}
+	}
+}
+
+// closedLoop sends one packet at a time, so ns/op ≈ per-packet chain latency.
+func closedLoop(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int) {
+	b.Helper()
+	s, err := exp.BuildSUT(kind, factory, exp.Params{Flows: 64, PacketSize: 256}, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Gen.SendOne(i)
+		target := uint64(i + 1)
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Sink.Received() < target {
+			if time.Now().After(deadline) {
+				b.Fatalf("packet %d never exited", i)
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// BenchmarkFig9 sweeps chain length for all four systems (Figure 9).
+func BenchmarkFig9(b *testing.B) {
+	for _, kind := range []exp.Kind{exp.NF, exp.FTC, exp.FTMB, exp.FTMBSnap} {
+		for _, n := range []int{2, 3, 4, 5} {
+			b.Run(fmt.Sprintf("%s/chain%d", kind, n), func(b *testing.B) {
+				pump(b, kind, exp.MonitorChain(n, 1), 8, 256)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 measures closed-loop latency vs chain length (Figure 10);
+// endpoint lengths only — `ftclab fig10` runs the full sweep.
+func BenchmarkFig10(b *testing.B) {
+	for _, kind := range []exp.Kind{exp.NF, exp.FTC, exp.FTMB} {
+		for _, n := range []int{2, 5} {
+			b.Run(fmt.Sprintf("%s/chain%d", kind, n), func(b *testing.B) {
+				closedLoop(b, kind, exp.MonitorChain(n, 1), 1)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11 exercises the Ch-3 path used for the latency CDF
+// (Figure 11); percentile detail comes from `ftclab fig11`.
+func BenchmarkFig11(b *testing.B) {
+	for _, kind := range []exp.Kind{exp.NF, exp.FTC, exp.FTMB} {
+		b.Run(kind.String(), func(b *testing.B) {
+			closedLoop(b, kind, exp.MonitorChain(3, 1), 1)
+		})
+	}
+}
+
+// BenchmarkFig12 sweeps the replication factor on Ch-5 (Figure 12).
+func BenchmarkFig12(b *testing.B) {
+	for _, f := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("replication%d", f+1), func(b *testing.B) {
+			p := exp.Params{Flows: 64, PacketSize: 256, F: f}
+			s, err := exp.BuildSUT(exp.FTC, exp.MonitorChain(5, 1), p, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			pumpSUT(b, s)
+		})
+	}
+}
+
+// pumpSUT is pump for an already-built SUT.
+func pumpSUT(b *testing.B, s *exp.SUT) {
+	b.Helper()
+	const window = 512
+	start := time.Now()
+	sent := uint64(0)
+	for sent < uint64(b.N) {
+		for sent < uint64(b.N) && sent-s.Sink.Received() < window {
+			s.Gen.SendOne(int(sent))
+			sent++
+		}
+		if sent-s.Sink.Received() >= window {
+			runtime.Gosched()
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Sink.Received() < uint64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("egress %d of %d", s.Sink.Received(), b.N)
+		}
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "pps")
+	}
+}
+
+// BenchmarkFig13 measures one full recovery (spawn + state fetch + reroute)
+// of the middle middlebox of Ch-Rec per iteration (Figure 13's local-area
+// shape; `ftclab fig13` adds the WAN regions).
+func BenchmarkFig13(b *testing.B) {
+	p := exp.Params{RunTime: 50 * time.Millisecond}
+	for i := 0; i < b.N; i++ {
+		tb, err := exp.Fig13(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tb
+	}
+}
+
+// BenchmarkAblationPiggyback compares piggybacking against separate
+// replication messages (design choice §3.2).
+func BenchmarkAblationPiggyback(b *testing.B) {
+	tb := exp.AblationPiggyback(b.N)
+	_ = tb
+}
+
+// BenchmarkAblationDepVectors compares dependency-vector replication
+// against total-order replication (design choice §4.3).
+func BenchmarkAblationDepVectors(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("appliers%d", workers), func(b *testing.B) {
+			tb := exp.AblationDependencyVectors(b.N, workers)
+			_ = tb
+		})
+	}
+}
+
+// BenchmarkAblationTransactions compares partitioned 2PL against a global
+// lock (design choice §4.2).
+func BenchmarkAblationTransactions(b *testing.B) {
+	tb := exp.AblationTransactions(b.N/8+1, 8)
+	_ = tb
+}

@@ -1,0 +1,173 @@
+// Command ftcd runs a single FTC chain replica as an OS process. The data
+// plane is tunneled over UDP and the control plane (repair, recovery state
+// fetch, heartbeats) over TCP, so a chain can span processes or machines.
+//
+// A three-middlebox chain on one host:
+//
+//	ftcd -index 0 -mb monitor -chain monitor,firewall,nat -f 1 \
+//	     -listen-udp :7000 -listen-tcp :7100 \
+//	     -peer 1=127.0.0.1:7001/127.0.0.1:7101 \
+//	     -peer 2=127.0.0.1:7002/127.0.0.1:7102 \
+//	     -egress 127.0.0.1:7999
+//	ftcd -index 1 ... (and so on for each ring position)
+//
+// Traffic enters by sending raw frames (as built by ftcgen) to replica 0's
+// UDP address; released packets leave from the last replica to -egress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/mbox"
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/trans"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+type peerFlags map[int]trans.Peer
+
+func (p peerFlags) String() string { return fmt.Sprintf("%d peers", len(p)) }
+
+func (p peerFlags) Set(v string) error {
+	var idx int
+	var udpAddr, tcpAddr string
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("peer %q: want index=udp/tcp", v)
+	}
+	if _, err := fmt.Sscanf(parts[0], "%d", &idx); err != nil {
+		return fmt.Errorf("peer %q: bad index", v)
+	}
+	addrs := strings.SplitN(parts[1], "/", 2)
+	udpAddr = addrs[0]
+	if len(addrs) == 2 {
+		tcpAddr = addrs[1]
+	}
+	p[idx] = trans.Peer{ID: ringID(idx), UDPAddr: udpAddr, TCPAddr: tcpAddr}
+	return nil
+}
+
+func ringID(i int) netsim.NodeID { return netsim.NodeID(fmt.Sprintf("ftc-r%d", i)) }
+
+// buildMB constructs a middlebox by name.
+func buildMB(name string, workers int) (core.Middlebox, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "monitor":
+		return mbox.NewMonitor(1, workers), nil
+	case "firewall":
+		return mbox.NewFirewall(nil, true), nil
+	case "nat", "simplenat":
+		return mbox.NewSimpleNAT(wire.Addr4(203, 0, 113, 1), 10000, 40000), nil
+	case "mazunat":
+		return mbox.NewMazuNAT(wire.Addr4(203, 0, 113, 1), 10000, 40000, wire.Addr4(10, 0, 0, 0), 8), nil
+	case "gen":
+		return mbox.NewGen(64, 16), nil
+	case "none", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown middlebox %q (monitor|firewall|nat|mazunat|gen|none)", name)
+	}
+}
+
+func main() {
+	var (
+		index     = flag.Int("index", 0, "this replica's ring position")
+		chainSpec = flag.String("chain", "monitor", "comma-separated middlebox list defining the chain")
+		mbName    = flag.String("mb", "", "middlebox this replica hosts (defaults to chain[index])")
+		f         = flag.Int("f", 1, "failures to tolerate")
+		workers   = flag.Int("workers", 2, "packet worker threads")
+		listenUDP = flag.String("listen-udp", "127.0.0.1:0", "data-plane listen address")
+		listenTCP = flag.String("listen-tcp", "127.0.0.1:0", "control-plane listen address")
+		egress    = flag.String("egress", "", "UDP address released packets are sent to (last replica only)")
+	)
+	peers := peerFlags{}
+	flag.Var(peers, "peer", "remote ring node: index=udpaddr[/tcpaddr] (repeatable)")
+	flag.Parse()
+
+	chainMBs := strings.Split(*chainSpec, ",")
+	numMB := len(chainMBs)
+	name := *mbName
+	if name == "" && *index < numMB {
+		name = chainMBs[*index]
+	}
+	mb, err := buildMB(name, *workers)
+	if err != nil {
+		log.Fatalf("ftcd: %v", err)
+	}
+
+	cfg := core.Config{F: *f, NumMB: numMB, Workers: *workers}.WithDefaults()
+	ring := cfg.Ring()
+	if *index < 0 || *index >= ring.M() {
+		log.Fatalf("ftcd: index %d out of ring range 0..%d", *index, ring.M()-1)
+	}
+
+	fabric := netsim.New(netsim.Config{})
+	defer fabric.Stop()
+
+	local := fabric.AddNode(ringID(*index), netsim.NodeConfig{
+		Queues:   *workers,
+		QueueCap: 4096,
+		Selector: wire.RSSSelector,
+	})
+
+	// Egress proxy: the bridge tunnels frames for this node to -egress.
+	egressID := netsim.NodeID("")
+	var peerList []trans.Peer
+	for i := 0; i < ring.M(); i++ {
+		if i == *index {
+			continue
+		}
+		p, ok := peers[i]
+		if !ok {
+			log.Fatalf("ftcd: missing -peer for ring position %d", i)
+		}
+		peerList = append(peerList, p)
+	}
+	if *egress != "" {
+		egressID = "ftc-egress"
+		peerList = append(peerList, trans.Peer{ID: egressID, UDPAddr: *egress})
+	}
+
+	ringIDs := make([]netsim.NodeID, ring.M())
+	for i := range ringIDs {
+		ringIDs[i] = ringID(i)
+	}
+	replica := core.NewReplica(cfg, core.ReplicaSpec{
+		Index:   *index,
+		Sim:     local,
+		Fabric:  fabric,
+		RingIDs: ringIDs,
+		Egress:  egressID,
+		MB:      mb,
+	})
+	replica.Start()
+	defer replica.Stop()
+
+	bridge, err := trans.NewBridge(fabric, local.ID(), *listenUDP, *listenTCP, peerList)
+	if err != nil {
+		log.Fatalf("ftcd: %v", err)
+	}
+	defer bridge.Close()
+	udpAddr, tcpAddr := bridge.Addrs()
+	mbDesc := "extension replica (no middlebox)"
+	if mb != nil {
+		mbDesc = mb.Name()
+	}
+	log.Printf("ftcd: ring %d/%d hosting %s", *index, ring.M(), mbDesc)
+	log.Printf("ftcd: data plane %s, control plane %s", udpAddr, tcpAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	s := replica.Stats()
+	log.Printf("ftcd: rx=%d tx=%d egress=%d filtered=%d repairs=%d",
+		s.RxFrames.Load(), s.TxFrames.Load(), s.Egress.Load(),
+		s.Filtered.Load(), s.Repairs.Load())
+}

@@ -1,0 +1,167 @@
+// Command ftcgen is the standalone traffic generator and sink for ftcd
+// deployments: it sends synthetic multi-flow UDP workload frames to a
+// chain's ingress and/or receives released packets, reporting throughput
+// and latency.
+//
+// Generate against a chain and measure its egress:
+//
+//	ftcgen -target 127.0.0.1:7000 -listen 127.0.0.1:7999 -rate 50000 -duration 10s
+//
+// Sink-only (run before pointing a chain's -egress here):
+//
+//	ftcgen -listen 127.0.0.1:7999 -duration 60s
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/metrics"
+	"github.com/ftsfc/ftc/internal/tgen"
+	"github.com/ftsfc/ftc/internal/trans"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "", "chain ingress UDP address (empty: sink only)")
+		listen   = flag.String("listen", "", "egress sink UDP address (empty: generate only)")
+		rate     = flag.Float64("rate", 10000, "offered load in packets/s (0 = maximum)")
+		duration = flag.Duration("duration", 10*time.Second, "run time")
+		size     = flag.Int("size", 256, "frame size in bytes")
+		flows    = flag.Int("flows", 64, "distinct flows")
+	)
+	flag.Parse()
+	if *target == "" && *listen == "" {
+		log.Fatal("ftcgen: need -target and/or -listen")
+	}
+
+	hist := metrics.NewHistogram()
+	var received metrics.Counter
+
+	if *listen != "" {
+		addr, err := net.ResolveUDPAddr("udp", *listen)
+		if err != nil {
+			log.Fatalf("ftcgen: %v", err)
+		}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			log.Fatalf("ftcgen: %v", err)
+		}
+		defer conn.Close()
+		go sinkLoop(conn, hist, &received)
+		log.Printf("ftcgen: sink on %s", conn.LocalAddr())
+	}
+
+	var sent uint64
+	if *target != "" {
+		conn, err := net.Dial("udp", *target)
+		if err != nil {
+			log.Fatalf("ftcgen: %v", err)
+		}
+		defer conn.Close()
+		frames := buildFrames(*flows, *size)
+		log.Printf("ftcgen: offering %.0f pps to %s for %v", *rate, *target, *duration)
+		sent = generate(conn, frames, *rate, *duration)
+	} else {
+		time.Sleep(*duration)
+	}
+	// Drain stragglers.
+	time.Sleep(200 * time.Millisecond)
+
+	fmt.Printf("sent:     %d\n", sent)
+	fmt.Printf("received: %d\n", received.Value())
+	if hist.Count() > 0 {
+		s := hist.Summarize()
+		fmt.Printf("latency:  p50=%v p90=%v p99=%v max=%v mean=%v (n=%d)\n",
+			s.P50, s.P90, s.P99, s.Max, s.Mean, s.Count)
+	}
+	if *duration > 0 && received.Value() > 0 {
+		fmt.Printf("egress:   %.0f pps\n", float64(received.Value())/duration.Seconds())
+	}
+}
+
+// buildFrames pre-builds one stampable template frame per flow with the
+// tgen payload layout (magic | flow | seq | timestamp).
+func buildFrames(flows, size int) [][]byte {
+	if size < tgen.MinPacketSize {
+		size = tgen.MinPacketSize
+	}
+	payloadLen := size - (wire.EthernetHeaderLen + wire.IPv4MinHeaderLen + wire.UDPHeaderLen)
+	out := make([][]byte, flows)
+	for i := range out {
+		payload := make([]byte, payloadLen)
+		binary.BigEndian.PutUint32(payload[0:4], 0xF7C0BEEF)
+		binary.BigEndian.PutUint32(payload[4:8], uint32(i))
+		p, err := wire.BuildUDP(wire.UDPSpec{
+			SrcMAC:  wire.MAC{0x02, 0x10, 0, 0, byte(i >> 8), byte(i)},
+			DstMAC:  wire.MAC{0x02, 0x20, 0, 0, 0, 1},
+			Src:     wire.Addr4(10, 10, byte(i>>8), byte(i)),
+			Dst:     wire.Addr4(192, 0, 2, 1),
+			SrcPort: uint16(1024 + i%60000), DstPort: 80,
+			Payload: payload,
+		})
+		if err != nil {
+			log.Fatalf("ftcgen: building flow %d: %v", i, err)
+		}
+		out[i] = p.Buf
+	}
+	return out
+}
+
+func generate(conn net.Conn, frames [][]byte, rate float64, d time.Duration) uint64 {
+	payloadOff := wire.EthernetHeaderLen + wire.IPv4MinHeaderLen + wire.UDPHeaderLen
+	var seq, sent uint64
+	deadline := time.Now().Add(d)
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	next := time.Now()
+	for i := 0; time.Now().Before(deadline); i++ {
+		frame := frames[i%len(frames)]
+		seq++
+		binary.BigEndian.PutUint64(frame[payloadOff+8:], seq)
+		binary.BigEndian.PutUint64(frame[payloadOff+16:], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint16(frame[payloadOff-2:], 0) // zero UDP checksum
+		if _, err := conn.Write(frame); err != nil {
+			log.Printf("ftcgen: send: %v", err)
+			break
+		}
+		sent++
+		if interval > 0 {
+			next = next.Add(interval)
+			if sleep := time.Until(next); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}
+	return sent
+}
+
+func sinkLoop(conn *net.UDPConn, hist *metrics.Histogram, received *metrics.Counter) {
+	buf := make([]byte, trans.MaxFrame)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		now := time.Now().UnixNano()
+		p, err := wire.Parse(buf[:n])
+		if err != nil {
+			continue
+		}
+		received.Inc()
+		pay := p.Payload()
+		if len(pay) >= 24 && binary.BigEndian.Uint32(pay[0:4]) == 0xF7C0BEEF {
+			ts := int64(binary.BigEndian.Uint64(pay[16:24]))
+			if ts > 0 && now > ts {
+				hist.Record(time.Duration(now - ts))
+			}
+		}
+	}
+}

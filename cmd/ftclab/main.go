@@ -1,0 +1,103 @@
+// Command ftclab regenerates the paper's evaluation (§7): every table and
+// figure, plus the design-choice ablations, printed as aligned text tables
+// with the paper's reference numbers in the notes.
+//
+// Usage:
+//
+//	ftclab [-quick] [-runtime 1s] [experiment ...]
+//
+// Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// fig13 ablate. With no arguments, all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/exp"
+)
+
+func main() {
+	quickFlag := flag.Bool("quick", false, "short measurement windows (smoke run)")
+	runTime := flag.Duration("runtime", time.Second, "measurement window per data point")
+	flows := flag.Int("flows", 128, "generator flows")
+	flag.Parse()
+
+	p := exp.Params{RunTime: *runTime, Flows: *flows}
+	if *quickFlag {
+		p.RunTime = 150 * time.Millisecond
+		p.Samples = 5
+	}
+
+	wanted := flag.Args()
+	if len(wanted) == 0 {
+		wanted = []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig12", "fig13", "ablate"}
+	}
+	exitCode := 0
+	for _, name := range wanted {
+		if err := run(strings.ToLower(name), p); err != nil {
+			fmt.Fprintf(os.Stderr, "ftclab: %s: %v\n", name, err)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func run(name string, p exp.Params) error {
+	show := func(t *exp.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	}
+	switch name {
+	case "table1":
+		return show(exp.Table1(), nil)
+	case "table2":
+		return show(exp.Table2(p))
+	case "fig5":
+		return show(exp.Fig5(p))
+	case "fig6":
+		return show(exp.Fig6(p))
+	case "fig7":
+		return show(exp.Fig7(p))
+	case "fig8":
+		tables, err := exp.Fig8(p)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return nil
+	case "fig9":
+		return show(exp.Fig9(p))
+	case "fig10":
+		return show(exp.Fig10(p))
+	case "fig11":
+		return show(exp.Fig11(p))
+	case "fig12":
+		return show(exp.Fig12(p))
+	case "fig13":
+		return show(exp.Fig13(p))
+	case "ablate":
+		iters := int(p.WithDefaults().RunTime / (200 * time.Nanosecond))
+		if iters < 2000 {
+			iters = 2000
+		}
+		fmt.Println(exp.AblationPiggyback(iters))
+		fmt.Println(exp.AblationDependencyVectors(iters/4, 8))
+		fmt.Println(exp.AblationServers(5, 1))
+		fmt.Println(exp.AblationServers(2, 2))
+		fmt.Println(exp.AblationTransactions(iters/8, 8))
+		fmt.Println(exp.AblationEngines(iters/8, 8))
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

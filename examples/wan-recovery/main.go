@@ -1,0 +1,80 @@
+// WAN-recovery: deploys the paper's Ch-Rec chain (Firewall → Monitor →
+// SimpleNAT) across simulated cloud regions and measures recovery time for
+// each middlebox, reproducing the §7.5 experiment interactively.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	ftc "github.com/ftsfc/ftc"
+)
+
+func main() {
+	regions := []struct {
+		name string
+		rtt  time.Duration // orchestrator ↔ region round trip
+	}{
+		{"local (with orchestrator)", 1 * time.Millisecond},
+		{"remote region", 40 * time.Millisecond},
+		{"neighbouring region", 8 * time.Millisecond},
+	}
+
+	dep, err := ftc.Deploy([]ftc.Middlebox{
+		ftc.NewFirewall(nil, true),
+		ftc.NewMonitor(1, 2),
+		ftc.NewSimpleNAT(ftc.Addr4(203, 0, 113, 9), 20000, 40000),
+	}, ftc.Options{F: 1, Workers: 2, ChainName: "rec"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dep.Close()
+
+	// Place each replica in its region: WAN latency between chain nodes and
+	// between the orchestrator and each region.
+	const interRegion = 25 * time.Millisecond
+	for i := 0; i < dep.Chain.Len(); i++ {
+		dep.Fabric.SetLinkBoth(dep.Orchestrator.NodeID(), dep.Chain.RingID(i),
+			ftc.LinkProfile{Latency: regions[i].rtt / 2})
+		for j := 0; j < dep.Chain.Len(); j++ {
+			if i != j {
+				dep.Fabric.SetLink(dep.Chain.RingID(i), dep.Chain.RingID(j),
+					ftc.LinkProfile{Latency: interRegion / 2})
+			}
+		}
+	}
+	// Replacements spawn in the failed node's region.
+	dep.Chain.OnSpawn = func(idx int, id ftc.NodeID) {
+		dep.Fabric.SetLinkBoth(dep.Orchestrator.NodeID(), id,
+			ftc.LinkProfile{Latency: regions[idx].rtt / 2})
+		for j := 0; j < dep.Chain.Len(); j++ {
+			if j != idx {
+				dep.Fabric.SetLinkBoth(id, dep.Chain.RingID(j),
+					ftc.LinkProfile{Latency: interRegion / 2})
+			}
+		}
+	}
+
+	// Seed state: run traffic so there is something to recover.
+	fmt.Println("seeding flow state across the WAN chain...")
+	dep.Generator.Offer(2000, 400*time.Millisecond)
+	time.Sleep(200 * time.Millisecond)
+
+	names := []string{"Firewall", "Monitor", "SimpleNAT"}
+	fmt.Printf("%-10s  %-12s  %-14s  %-10s\n", "middlebox", "init", "state fetch", "total")
+	for i, name := range names {
+		dep.Chain.Crash(i)
+		rep := dep.Orchestrator.Recover(i)
+		if rep.Err != nil {
+			log.Fatalf("recovering %s: %v", name, rep.Err)
+		}
+		fmt.Printf("%-10s  %-12v  %-14v  %-10v\n", name,
+			rep.Init.Round(100*time.Microsecond),
+			rep.StateFetch.Round(100*time.Microsecond),
+			rep.Total.Round(100*time.Microsecond))
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Println("\nthe init delay tracks each region's distance to the orchestrator;")
+	fmt.Println("state recovery is dominated by WAN round trips to the state sources (§7.5).")
+}

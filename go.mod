@@ -1,0 +1,3 @@
+module github.com/ftsfc/ftc
+
+go 1.22

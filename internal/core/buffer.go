@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// egressBuffer is the element at the chain's egress (§5): it withholds each
+// packet until the state updates of middleboxes whose replication groups
+// wrap past the chain's end (their tails sit at the beginning of the chain)
+// are confirmed replicated f+1 times by commit vectors carried on later
+// packets, and it transfers piggyback messages back to the forwarder.
+type egressBuffer struct {
+	mu   sync.Mutex
+	held []heldPacket
+	tick uint32 // throttles commit-view transfers
+}
+
+type heldPacket struct {
+	frame []byte // the finalized packet, ready for release
+	logs  []Log  // this packet's logs still awaiting commit confirmation
+}
+
+func newEgressBuffer() *egressBuffer { return &egressBuffer{} }
+
+func (b *egressBuffer) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.held)
+}
+
+// bufferStage runs the chain-egress pipeline on the last ring node: it
+// transfers the packet's remaining piggyback message to the forwarder,
+// then holds or releases the packet per the §5.1 release rule.
+func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) {
+	// Transfer wrapped logs and in-flight commit vectors to the forwarder
+	// so they continue around the ring (the paper ships these on a
+	// dedicated link between the last and first servers). The buffer also
+	// attaches its own merged commit view for the wrapped middleboxes:
+	// their commits were retired at their heads mid-chain, and without
+	// them the forwarder could never prune its pending logs.
+	commits := msg.Commits
+	r.buf.mu.Lock()
+	r.buf.tick++
+	includeView := r.buf.tick%commitEvery == 1 || msg.Propagating()
+	r.buf.mu.Unlock()
+	if !includeView && r.commitStale() {
+		includeView = true
+	}
+	if includeView {
+		for _, j := range r.wrappedMBs() {
+			if sv := SparseFromDense(r.commitSnapshot(j)); len(sv) > 0 {
+				commits = append(commits, Commit{MB: j, Vec: sv})
+			}
+		}
+	}
+	if len(msg.Logs) > 0 || len(commits) > 0 {
+		transfer := &Message{
+			Flags:   FlagBufferTransfer,
+			Gen:     msg.Gen,
+			Logs:    msg.Logs,
+			Commits: commits,
+		}
+		carrier := r.carrierFrom(transfer.LenEstimate())
+		if err := carrier.SetTrailer(transfer.Encode(make([]byte, 0, transfer.LenEstimate()))); err == nil {
+			_ = r.sim.Send(r.ringID(0), carrier.Buf)
+		}
+	}
+
+	if msg.Propagating() {
+		// Propagating packets die at the buffer after their commits have
+		// been merged (step 1 of processPacket).
+		r.maybeRelease()
+		return
+	}
+
+	// Finalize the data packet: strip the trailer and the FTC IP option.
+	pkt.StripTrailer()
+	if err := pkt.RemoveFTCOption(); err != nil {
+		r.stats.ParseErrors.Add(1)
+		return
+	}
+
+	// Fast path: everything this packet needs may already be committed.
+	if r.releasable(msg.Logs) {
+		r.release(pkt.Buf)
+		r.maybeRelease()
+		return
+	}
+	r.stats.Held.Add(1)
+	r.buf.mu.Lock()
+	r.buf.held = append(r.buf.held, heldPacket{frame: pkt.Buf, logs: msg.Logs})
+	r.buf.mu.Unlock()
+	r.maybeRelease()
+}
+
+// releasable reports whether every log is covered by the replica's merged
+// commit vectors. It holds commitMu once for the whole check; the commit
+// slices are only mutated under that lock, so no cloning is needed.
+func (r *Replica) releasable(logs []Log) bool {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	return releasableAgainst(logs, func(mb uint16) []uint64 { return r.commitSeen[mb] })
+}
+
+// releasableAgainst implements the §5.1 release rule against a commit
+// lookup: every log's touched partitions must be committed (write logs need
+// their own update replicated; noop logs need their reads replicated).
+func releasableAgainst(logs []Log, commitFor func(mb uint16) []uint64) bool {
+	for _, l := range logs {
+		if len(l.Vec) == 0 {
+			continue
+		}
+		if !l.Vec.CommittedBy(commitFor(l.MB), l.Noop()) {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeRelease scans held packets only when new commit information for a
+// wrapped middlebox has arrived since the last scan, keeping the release
+// path amortized O(1) per packet.
+func (r *Replica) maybeRelease() {
+	if !r.releaseDirty.Swap(false) {
+		return
+	}
+	r.tryRelease()
+}
+
+// tryRelease scans held packets and releases those whose commit condition
+// is now met, in arrival order.
+func (r *Replica) tryRelease() {
+	r.buf.mu.Lock()
+	var ready [][]byte
+	kept := r.buf.held[:0]
+	r.commitMu.Lock()
+	commitFor := func(mb uint16) []uint64 { return r.commitSeen[mb] }
+	for _, h := range r.buf.held {
+		if releasableAgainst(h.logs, commitFor) {
+			ready = append(ready, h.frame)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	r.commitMu.Unlock()
+	for i := len(kept); i < len(r.buf.held); i++ {
+		r.buf.held[i] = heldPacket{}
+	}
+	r.buf.held = kept
+	r.buf.mu.Unlock()
+	for _, frame := range ready {
+		r.release(frame)
+	}
+}
+
+// release sends a finalized packet to the chain's egress.
+func (r *Replica) release(frame []byte) {
+	if r.egress == "" {
+		r.stats.Egress.Add(1)
+		return
+	}
+	if err := r.sim.SendBlocking(r.egress, frame); err == nil {
+		r.stats.Egress.Add(1)
+	}
+}
+
+// wrappedMBs lists the middleboxes whose replication groups wrap past the
+// chain's end (cached on first use; topology is fixed).
+func (r *Replica) wrappedMBs() []uint16 {
+	r.wrapOnce.Do(func() {
+		for j := 0; j < r.cfg.NumMB; j++ {
+			if r.ring.Wrapped(j) {
+				r.wrapped = append(r.wrapped, uint16(j))
+			}
+		}
+	})
+	return r.wrapped
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// Chain deploys and manages the FTC replicas of one service function chain
+// on a fabric: one replica per middlebox plus extension replicas when the
+// ring must be longer than the chain (§5.1). It is the package's main entry
+// point; the orchestrator and the benchmarks both build chains through it.
+type Chain struct {
+	cfg     Config
+	fabric  *netsim.Fabric
+	ring    Ring
+	name    string
+	egress  netsim.NodeID
+	mbs     []Middlebox
+	spawnCt atomic.Uint32
+
+	mu       sync.RWMutex // guards replicas and ringIDs against Adopt
+	replicas []*Replica
+	ringIDs  []netsim.NodeID
+
+	// OnSpawn, if set, is invoked with every fabric node the chain creates
+	// after construction (i.e. recovery replacements), before the replica
+	// is initialized. Experiments use it to configure the new node's link
+	// profiles (e.g. placing the replacement in the failed node's region).
+	OnSpawn func(ringIdx int, id netsim.NodeID)
+}
+
+// NewChain creates (but does not start) a chain named name running the
+// given middleboxes. Released packets are sent to egress (which must exist
+// on the fabric, or be empty to count-and-discard).
+func NewChain(cfg Config, fabric *netsim.Fabric, name string, mbs []Middlebox, egress netsim.NodeID) *Chain {
+	cfg.NumMB = len(mbs)
+	cfg = cfg.WithDefaults()
+	ring := cfg.Ring()
+	c := &Chain{
+		cfg:    cfg,
+		fabric: fabric,
+		ring:   ring,
+		name:   name,
+		egress: egress,
+		mbs:    mbs,
+	}
+	c.ringIDs = make([]netsim.NodeID, ring.M())
+	for i := range c.ringIDs {
+		c.ringIDs[i] = c.nodeID(i, 0)
+	}
+	for i := 0; i < ring.M(); i++ {
+		var mb Middlebox
+		if i < len(mbs) {
+			mb = mbs[i]
+		}
+		c.replicas = append(c.replicas, c.buildReplica(i, c.ringIDs[i], mb))
+	}
+	return c
+}
+
+func (c *Chain) nodeID(idx int, spawn uint32) netsim.NodeID {
+	if spawn == 0 {
+		return netsim.NodeID(fmt.Sprintf("%s-r%d", c.name, idx))
+	}
+	return netsim.NodeID(fmt.Sprintf("%s-r%d.%d", c.name, idx, spawn))
+}
+
+func (c *Chain) buildReplica(idx int, id netsim.NodeID, mb Middlebox) *Replica {
+	sim := c.fabric.AddNode(id, netsim.NodeConfig{
+		Queues:   c.cfg.Workers,
+		QueueCap: c.cfg.QueueCap,
+		Selector: wire.RSSSelector,
+	})
+	return NewReplica(c.cfg, ReplicaSpec{
+		Index:   idx,
+		Sim:     sim,
+		Fabric:  c.fabric,
+		RingIDs: c.ringIDs,
+		Egress:  c.egress,
+		MB:      mb,
+	})
+}
+
+// Start launches every replica.
+func (c *Chain) Start() {
+	for _, r := range c.snapshot() {
+		r.Start()
+	}
+}
+
+// Stop shuts down every replica.
+func (c *Chain) Stop() {
+	for _, r := range c.snapshot() {
+		r.Stop()
+	}
+}
+
+func (c *Chain) snapshot() []*Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Replica(nil), c.replicas...)
+}
+
+// Config returns the chain's effective configuration.
+func (c *Chain) Config() Config { return c.cfg }
+
+// Ring returns the chain's logical ring.
+func (c *Chain) Ring() Ring { return c.ring }
+
+// IngressID is the fabric node traffic enters the chain through (the
+// forwarder's node).
+func (c *Chain) IngressID() netsim.NodeID { return c.RingID(0) }
+
+// RingID returns the current fabric ID of ring position i.
+func (c *Chain) RingID(i int) netsim.NodeID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ringIDs[i]
+}
+
+// Replica returns the current replica at ring position i.
+func (c *Chain) Replica(i int) *Replica {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.replicas[i]
+}
+
+// Len returns the ring size.
+func (c *Chain) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.replicas)
+}
+
+// Crash fail-stops the replica at ring position i (the middlebox and its
+// head fail together, §5.2: "the failure of a middlebox and its head
+// replica is not isolated").
+func (c *Chain) Crash(i int) {
+	c.Replica(i).sim.Crash()
+}
+
+// Replace spawns a replacement replica at ring position i, recovers its
+// state from the alive group members, reroutes the chain through it, and
+// starts it (§5.2's three recovery steps). The crashed node must already be
+// fail-stopped. Used directly by tests; the orchestrator drives the same
+// phases individually so it can time them.
+func (c *Chain) Replace(ctx context.Context, i int) (*Replica, error) {
+	nr := c.Spawn(i)
+	if err := c.RecoverState(ctx, nr); err != nil {
+		c.Abort(nr)
+		return nil, err
+	}
+	c.Adopt(nr)
+	return nr, nil
+}
+
+// Spawn creates (but does not start or initialize) a replacement replica
+// for ring position i on a fresh fabric node — recovery step 1 (§5.2,
+// "spawning a new replica and a new middlebox").
+func (c *Chain) Spawn(i int) *Replica {
+	spawn := c.spawnCt.Add(1)
+	var mb Middlebox
+	if i < len(c.mbs) {
+		mb = c.mbs[i]
+	}
+	id := c.nodeID(i, spawn)
+	if c.OnSpawn != nil {
+		// Runs after the fabric node is created, so the hook can configure
+		// its link profiles before any recovery traffic flows.
+		defer c.OnSpawn(i, id)
+	}
+	return c.buildReplica(i, id, mb)
+}
+
+// RecoverState runs recovery step 2 on a spawned replica: fetch each
+// replication group's state from the appropriate alive member. The replica
+// must not be started yet.
+func (c *Chain) RecoverState(ctx context.Context, nr *Replica) error {
+	_, err := nr.Recover(ctx, c.RingID)
+	return err
+}
+
+// Adopt runs recovery step 3: start the replacement, reroute the chain
+// through it, and bump the chain generation to fence stale in-flight
+// packets.
+func (c *Chain) Adopt(nr *Replica) {
+	i := nr.Index()
+	nr.Start()
+	c.mu.Lock()
+	c.ringIDs[i] = nr.sim.ID()
+	newGen := c.replicas[i].Gen() + 1
+	c.replicas[i] = nr
+	replicas := append([]*Replica(nil), c.replicas...)
+	c.mu.Unlock()
+	for _, r := range replicas {
+		r.SetRoute(i, nr.sim.ID())
+		r.SetGen(newGen)
+	}
+}
+
+// Abort discards a spawned replica whose recovery failed.
+func (c *Chain) Abort(nr *Replica) {
+	c.fabric.RemoveNode(nr.sim.ID())
+}
+
+// TestMonitors builds n trivial counting middleboxes for probes and tests.
+func TestMonitors(n int) []Middlebox {
+	mbs := make([]Middlebox, n)
+	for i := range mbs {
+		mbs[i] = &probeCounter{key: fmt.Sprintf("c%d", i)}
+	}
+	return mbs
+}

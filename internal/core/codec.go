@@ -1,0 +1,217 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"github.com/ftsfc/ftc/internal/state"
+)
+
+// appendLog encodes one piggyback log (shared by Message and the recovery
+// fetch format).
+func appendLog(dst []byte, l *Log) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, l.MB)
+	dst = append(dst, l.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(l.Vec)))
+	for _, e := range l.Vec {
+		dst = binary.BigEndian.AppendUint16(dst, e.Part)
+		dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(l.Updates)))
+	for _, u := range l.Updates {
+		dst = appendUpdate(dst, u)
+	}
+	return dst
+}
+
+func appendUpdate(dst []byte, u state.Update) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, u.Partition)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(u.Key)))
+	dst = append(dst, u.Key...)
+	if u.Value == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(u.Value)))
+		dst = append(dst, u.Value...)
+	}
+	return dst
+}
+
+func (d *decoder) update() (state.Update, error) {
+	var u state.Update
+	var err error
+	if u.Partition, err = d.u16(); err != nil {
+		return u, err
+	}
+	kl, err := d.u16()
+	if err != nil {
+		return u, err
+	}
+	kb, err := d.bytes(int(kl))
+	if err != nil {
+		return u, err
+	}
+	u.Key = string(kb)
+	present, err := d.u8()
+	if err != nil {
+		return u, err
+	}
+	if present != 0 {
+		vl, err := d.u32()
+		if err != nil {
+			return u, err
+		}
+		vb, err := d.bytes(int(vl))
+		if err != nil {
+			return u, err
+		}
+		u.Value = make([]byte, len(vb)) // non-nil even when empty: nil means delete
+		copy(u.Value, vb)
+	}
+	return u, nil
+}
+
+func (d *decoder) log() (Log, error) {
+	var l Log
+	var err error
+	if l.MB, err = d.u16(); err != nil {
+		return l, err
+	}
+	if l.Flags, err = d.u8(); err != nil {
+		return l, err
+	}
+	nv, err := d.u16()
+	if err != nil {
+		return l, err
+	}
+	if l.Vec, err = d.vec(int(nv)); err != nil {
+		return l, err
+	}
+	nu, err := d.u16()
+	if err != nil {
+		return l, err
+	}
+	for j := 0; j < int(nu); j++ {
+		u, err := d.update()
+		if err != nil {
+			return l, err
+		}
+		l.Updates = append(l.Updates, u)
+	}
+	return l, nil
+}
+
+// Repair RPC codec: request carries the requester's dense MAX for one
+// middlebox; the response reuses the Message encoding (logs only).
+
+func encodeRepairReq(mb uint16, max []uint64) []byte {
+	dst := make([]byte, 0, 4+8*len(max))
+	dst = binary.BigEndian.AppendUint16(dst, mb)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(max)))
+	for _, v := range max {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+func decodeRepairReq(b []byte) (mb uint16, max []uint64, err error) {
+	d := &decoder{b: b}
+	if mb, err = d.u16(); err != nil {
+		return 0, nil, err
+	}
+	n, err := d.u16()
+	if err != nil {
+		return 0, nil, err
+	}
+	max = make([]uint64, n)
+	for i := range max {
+		if max[i], err = d.u64(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return mb, max, nil
+}
+
+// Recovery fetch codec: the response transfers a middlebox's full replica
+// state — store snapshot, dependency vector (head vector or follower MAX),
+// and the retransmission buffer (§5.2).
+
+// FetchState is the recovery payload for one middlebox at one replica.
+type FetchState struct {
+	MB       uint16
+	Vector   []uint64
+	Logs     []Log
+	Snapshot []state.Update
+}
+
+func encodeFetchReq(mb uint16) []byte {
+	return binary.BigEndian.AppendUint16(nil, mb)
+}
+
+func decodeFetchReq(b []byte) (uint16, error) {
+	d := &decoder{b: b}
+	return d.u16()
+}
+
+func encodeFetchState(fs *FetchState) []byte {
+	dst := make([]byte, 0, 64+len(fs.Snapshot)*32)
+	dst = binary.BigEndian.AppendUint16(dst, fs.MB)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(fs.Vector)))
+	for _, v := range fs.Vector {
+		dst = binary.BigEndian.AppendUint64(dst, v)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(fs.Logs)))
+	for i := range fs.Logs {
+		dst = appendLog(dst, &fs.Logs[i])
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(fs.Snapshot)))
+	for _, u := range fs.Snapshot {
+		dst = appendUpdate(dst, u)
+	}
+	return dst
+}
+
+func decodeFetchState(b []byte) (*FetchState, error) {
+	d := &decoder{b: b}
+	fs := &FetchState{}
+	var err error
+	if fs.MB, err = d.u16(); err != nil {
+		return nil, err
+	}
+	nv, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	fs.Vector = make([]uint64, nv)
+	for i := range fs.Vector {
+		if fs.Vector[i], err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	nl, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nl); i++ {
+		l, err := d.log()
+		if err != nil {
+			return nil, err
+		}
+		fs.Logs = append(fs.Logs, l)
+	}
+	nu, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nu); i++ {
+		u, err := d.update()
+		if err != nil {
+			return nil, err
+		}
+		fs.Snapshot = append(fs.Snapshot, u)
+	}
+	if d.off != len(b) {
+		return nil, ErrDecode
+	}
+	return fs, nil
+}

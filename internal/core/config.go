@@ -1,0 +1,92 @@
+package core
+
+import (
+	"time"
+
+	"github.com/ftsfc/ftc/internal/state"
+)
+
+// Config holds the FTC protocol parameters shared by all replicas of a
+// chain.
+type Config struct {
+	// F is the number of simultaneous replica failures tolerated. State is
+	// replicated to F+1 replicas (§3.1).
+	F int
+	// NumMB is the number of middleboxes in the chain.
+	NumMB int
+	// Partitions is the state-partition count per middlebox store. It must
+	// exceed the maximum worker count to keep lock contention low (§4.2).
+	Partitions int
+	// Workers is the number of packet-processing threads per replica.
+	Workers int
+	// QueueCap is the per-ingress-queue capacity in frames.
+	QueueCap int
+	// PropagateEvery is the forwarder's idle timer: with no incoming
+	// traffic, a propagating packet carries pending piggyback state through
+	// the chain at this period (§5.1).
+	PropagateEvery time.Duration
+	// RepairEvery is how long a follower waits for a missing predecessor
+	// log before requesting retransmission from its group predecessor.
+	RepairEvery time.Duration
+	// RepairDeadline bounds the total wait for a missing log; packets whose
+	// logs cannot be repaired within it are counted and passed on.
+	RepairDeadline time.Duration
+	// ResendAfter is how long the forwarder waits for a pending piggyback
+	// log to be committed before attaching it to another packet.
+	ResendAfter time.Duration
+	// CommitRefresh bounds how stale a tail's disseminated commit vector
+	// may get: commits ride every commitEvery'th packet, but at low rates a
+	// time-based refresh keeps buffer-release latency bounded.
+	CommitRefresh time.Duration
+	// Gen is the chain generation; recovery bumps it to fence stale
+	// in-flight packets (§4.1 "will no longer admit packets in flight").
+	Gen uint32
+	// NewStore builds the state engine for each replica store. Defaults to
+	// the pessimistic state.New (wound-wait 2PL); state.NewOCC selects the
+	// optimistic engine (§3.2's HTM-style adaptation).
+	NewStore func(partitions int) state.Backend
+}
+
+// WithDefaults fills zero fields with production defaults.
+func (c Config) WithDefaults() Config {
+	if c.F <= 0 {
+		c.F = 1
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.PropagateEvery <= 0 {
+		c.PropagateEvery = time.Millisecond
+	}
+	if c.RepairEvery <= 0 {
+		c.RepairEvery = 2 * time.Millisecond
+	}
+	if c.RepairDeadline <= 0 {
+		c.RepairDeadline = 2 * time.Second
+	}
+	if c.ResendAfter <= 0 {
+		// Resend covers *lost* transfer frames, so it must sit well above
+		// the normal commit latency (ring traversal + dissemination period);
+		// resending live-but-uncommitted logs snowballs message sizes.
+		c.ResendAfter = 4 * c.PropagateEvery
+		if c.ResendAfter < 10*time.Millisecond {
+			c.ResendAfter = 10 * time.Millisecond
+		}
+	}
+	if c.CommitRefresh <= 0 {
+		c.CommitRefresh = 200 * time.Microsecond
+	}
+	if c.NewStore == nil {
+		c.NewStore = func(partitions int) state.Backend { return state.New(partitions) }
+	}
+	return c
+}
+
+// Ring derives the chain's logical ring from the configuration.
+func (c Config) Ring() Ring { return Ring{N: c.NumMB, F: c.F} }

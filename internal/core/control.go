@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/netsim"
+)
+
+// Control-plane RPC names. Each replica runs a control daemon that serves
+// repair requests from group peers and state-fetch requests during failure
+// recovery (§6: "a replica consists of control and data plane modules").
+const (
+	rpcRepair   = "ftc.repair"
+	rpcFetch    = "ftc.fetch"
+	rpcSetGen   = "ftc.setgen"
+	rpcSetRoute = "ftc.setroute"
+	rpcPing     = "ftc.ping"
+)
+
+func (r *Replica) registerControl() {
+	r.sim.RegisterRPC(rpcRepair, r.handleRepair)
+	r.sim.RegisterRPC(rpcFetch, r.handleFetch)
+	r.sim.RegisterRPC(rpcSetGen, r.handleSetGen)
+	r.sim.RegisterRPC(rpcSetRoute, r.handleSetRoute)
+	r.sim.RegisterRPC(rpcPing, func(netsim.NodeID, []byte) ([]byte, error) {
+		return []byte{1}, nil
+	})
+}
+
+// handleRepair serves missing piggyback logs to a group successor whose MAX
+// lags behind this replica's retransmission buffer.
+func (r *Replica) handleRepair(_ netsim.NodeID, req []byte) ([]byte, error) {
+	mb, max, err := decodeRepairReq(req)
+	if err != nil {
+		return nil, err
+	}
+	var logs []Log
+	switch {
+	case r.head != nil && r.head.MB() == mb:
+		logs = r.head.Buffer().Missing(max)
+	case r.followers[mb] != nil:
+		logs = r.followers[mb].Missing(max)
+	default:
+		return nil, fmt.Errorf("core: replica %d not in group of mb %d", r.idx, mb)
+	}
+	m := &Message{Gen: r.gen.Load(), Logs: logs}
+	return m.Encode(make([]byte, 0, m.LenEstimate())), nil
+}
+
+// handleFetch serves a middlebox's full replica state to a recovering
+// replacement (§5.2). The source stops admitting stale in-flight effects by
+// snapshotting under the follower/head locks.
+func (r *Replica) handleFetch(_ netsim.NodeID, req []byte) ([]byte, error) {
+	mb, err := decodeFetchReq(req)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FetchState{MB: mb}
+	switch {
+	case r.head != nil && r.head.MB() == mb:
+		fs.Vector = r.head.Vector()
+		fs.Logs = r.head.Buffer().all()
+		fs.Snapshot = r.head.Store().Snapshot()
+	case r.followers[mb] != nil:
+		f := r.followers[mb]
+		fs.Vector = f.Max()
+		fs.Logs = f.Buffer().all()
+		fs.Snapshot = f.Store().Snapshot()
+	default:
+		return nil, fmt.Errorf("core: replica %d has no state for mb %d", r.idx, mb)
+	}
+	return encodeFetchState(fs), nil
+}
+
+func (r *Replica) handleSetGen(_ netsim.NodeID, req []byte) ([]byte, error) {
+	if len(req) != 4 {
+		return nil, ErrDecode
+	}
+	r.SetGen(binary.BigEndian.Uint32(req))
+	return nil, nil
+}
+
+// handleSetRoute updates one ring position's fabric ID: "the orchestrator
+// updates routing rules in the network to steer traffic through the new
+// replica" (§4.1).
+func (r *Replica) handleSetRoute(_ netsim.NodeID, req []byte) ([]byte, error) {
+	if len(req) < 2 {
+		return nil, ErrDecode
+	}
+	idx := int(binary.BigEndian.Uint16(req[:2]))
+	r.SetRoute(idx, netsim.NodeID(req[2:]))
+	return nil, nil
+}
+
+// EncodeSetRoute builds the request body for the rpcSetRoute handler.
+func EncodeSetRoute(idx int, id netsim.NodeID) []byte {
+	b := binary.BigEndian.AppendUint16(nil, uint16(idx))
+	return append(b, []byte(id)...)
+}
+
+// EncodeSetGen builds the request body for the rpcSetGen handler.
+func EncodeSetGen(gen uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, gen)
+}
+
+// ControlRPC exposes the control-plane names for the orchestrator package.
+type ControlRPC struct{}
+
+// Names of the control RPCs, exported for the orchestrator.
+const (
+	RPCRepair   = rpcRepair
+	RPCFetch    = rpcFetch
+	RPCSetGen   = rpcSetGen
+	RPCSetRoute = rpcSetRoute
+	RPCPing     = rpcPing
+)
+
+// FetchFrom performs a recovery state fetch from the replica at src for
+// middlebox mb, on behalf of caller (a fabric node ID).
+func FetchFrom(ctx context.Context, fabric *netsim.Fabric, caller, src netsim.NodeID, mb uint16) (*FetchState, error) {
+	resp, err := fabric.Call(ctx, caller, src, rpcFetch, encodeFetchReq(mb))
+	if err != nil {
+		return nil, err
+	}
+	return decodeFetchState(resp)
+}
+
+// Recover initializes this (new, not yet started) replica's state from the
+// alive members of each replication group it belongs to, following §5.2:
+//   - for the group it heads, fetch from the immediate successor and adopt
+//     the successor's MAX as the head's dependency vector;
+//   - for groups it follows, fetch from the immediate predecessor.
+//
+// Under simultaneous failures a preferred source may itself be dead
+// ("if the contacted replica fails during recovery … re-initializes the new
+// replica with the new set of alive replicas"); Recover falls back to the
+// next alive group member in log-propagation order. Any gap introduced by
+// fetching from a staler successor is closed by the normal repair path once
+// traffic resumes.
+//
+// peerID maps ring positions to current fabric IDs. Returns the number of
+// replication groups recovered.
+func (r *Replica) Recover(ctx context.Context, peerID func(ringIdx int) netsim.NodeID) (int, error) {
+	recovered := 0
+	if r.head != nil {
+		mb := int(r.head.MB())
+		if r.cfg.F == 0 {
+			recovered++ // the head is the whole group; nothing to fetch
+		} else {
+			// Successors in group order: the immediate successor has the
+			// freshest state after the head itself.
+			var candidates []int
+			for _, m := range r.ring.Members(mb)[1:] {
+				candidates = append(candidates, m)
+			}
+			fs, err := r.fetchFirst(ctx, peerID, uint16(mb), candidates)
+			if err != nil {
+				return recovered, fmt.Errorf("recovering head state for mb %d: %w", mb, err)
+			}
+			r.head.Store().Restore(fs.Snapshot)
+			r.head.RestoreVector(fs.Vector)
+			r.head.Buffer().restore(fs.Logs)
+			recovered++
+		}
+	}
+	for mb, f := range r.followers {
+		candidates := r.followerSources(int(mb))
+		if len(candidates) == 0 {
+			continue
+		}
+		fs, err := r.fetchFirst(ctx, peerID, mb, candidates)
+		if err != nil {
+			return recovered, fmt.Errorf("recovering follower state for mb %d: %w", mb, err)
+		}
+		f.Store().Restore(fs.Snapshot)
+		f.RestoreMax(fs.Vector)
+		f.Buffer().restore(fs.Logs)
+		recovered++
+	}
+	return recovered, nil
+}
+
+// followerSources orders the candidate state sources for recovering this
+// replica's follower role in middlebox mb's group: the immediate
+// predecessor first (it has the same or later state, per the log
+// propagation invariant), then earlier predecessors up to the head, then
+// successors.
+func (r *Replica) followerSources(mb int) []int {
+	members := r.ring.Members(mb)
+	var myPos int
+	for k, m := range members {
+		if m == r.idx {
+			myPos = k
+			break
+		}
+	}
+	var out []int
+	for k := myPos - 1; k >= 0; k-- {
+		out = append(out, members[k])
+	}
+	for k := myPos + 1; k < len(members); k++ {
+		out = append(out, members[k])
+	}
+	return out
+}
+
+// fetchFirst tries each candidate ring position in order, returning the
+// first successful fetch.
+func (r *Replica) fetchFirst(ctx context.Context, peerID func(int) netsim.NodeID, mb uint16, candidates []int) (*FetchState, error) {
+	var lastErr error
+	for _, c := range candidates {
+		fs, err := FetchFrom(ctx, r.fabric, r.sim.ID(), peerID(c), mb)
+		if err == nil {
+			return fs, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: no candidates for mb %d", mb)
+	}
+	return nil, lastErr
+}
+
+// Ping checks liveness of a replica's control daemon.
+func Ping(ctx context.Context, fabric *netsim.Fabric, caller, dst netsim.NodeID, timeout time.Duration) bool {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	_, err := fabric.Call(ctx, caller, dst, rpcPing, nil)
+	return err == nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/state"
+)
+
+// Follower is a replica of a middlebox's state at one of the f succeeding
+// servers in its replication group (§5). It applies piggybacked state
+// updates in dependency-vector order, keeps the MAX vector of what it has
+// replicated in order, and buffers applied logs so it can serve repair
+// requests from its own successor.
+//
+// Non-dependent transactions apply concurrently: a log only locks the
+// partitions its vector names, so worker threads replicating disjoint
+// transactions proceed in parallel (§4.3's multithreaded replication).
+type Follower struct {
+	mb    uint16
+	store state.Backend
+	buf   *logBuffer
+
+	locks []sync.Mutex // per-partition apply locks; max[p] is guarded by locks[p]
+	max   []uint64
+
+	notifyMu sync.Mutex
+	notify   chan struct{} // closed and replaced whenever MAX advances
+}
+
+// ApplyOutcome reports what Apply did with a log.
+type ApplyOutcome int
+
+// Apply outcomes.
+const (
+	// Applied: the log was in order; updates installed, MAX advanced.
+	Applied ApplyOutcome = iota
+	// Duplicate: the log had already been applied (repair or recovery replay).
+	Duplicate
+	// Blocked: prior logs are missing; the caller must wait or repair.
+	Blocked
+)
+
+// NewFollower creates a follower replica for middlebox mb.
+func NewFollower(mb uint16, store state.Backend) *Follower {
+	return &Follower{
+		mb:     mb,
+		store:  store,
+		buf:    newLogBuffer(),
+		locks:  make([]sync.Mutex, store.NumPartitions()),
+		max:    make([]uint64, store.NumPartitions()),
+		notify: make(chan struct{}),
+	}
+}
+
+// MB returns the middlebox index this follower replicates.
+func (f *Follower) MB() uint16 { return f.mb }
+
+// Store returns the replica state store.
+func (f *Follower) Store() state.Backend { return f.store }
+
+// Buffer returns the follower's retransmission buffer.
+func (f *Follower) Buffer() *logBuffer { return f.buf }
+
+// lockVec acquires the apply locks for every partition in v (ascending, so
+// concurrent Apply calls cannot deadlock).
+func (f *Follower) lockVec(v SparseVec) {
+	for _, e := range v {
+		f.locks[e.Part].Lock()
+	}
+}
+
+func (f *Follower) unlockVec(v SparseVec) {
+	for _, e := range v {
+		f.locks[e.Part].Unlock()
+	}
+}
+
+// Apply attempts to apply one piggyback log. It never blocks: a log whose
+// dependencies are unmet returns Blocked and the caller decides whether to
+// wait (WaitApply) or request repair.
+func (f *Follower) Apply(l Log) ApplyOutcome {
+	if len(l.Vec) == 0 {
+		return Applied // touched nothing; nothing to order or install
+	}
+	f.lockVec(l.Vec)
+	defer f.unlockVec(l.Vec)
+	if l.Vec.SupersededBy(f.max) {
+		return Duplicate
+	}
+	if !l.Vec.SatisfiedBy(f.max) {
+		return Blocked
+	}
+	if l.Noop() {
+		return Applied // dependencies met; nothing to install or advance
+	}
+	if l.Vec.SupersededByAny(f.max) {
+		// Partially ahead can only mean a duplicate racing recovery state;
+		// installing again would be idempotent but advancing is not needed.
+		return Duplicate
+	}
+	f.store.Apply(l.Updates)
+	l.Vec.AdvanceInto(f.max)
+	f.buf.add(l)
+	f.wake()
+	return Applied
+}
+
+// SupersededByAny reports whether any touched partition is already ahead.
+func (v SparseVec) SupersededByAny(max []uint64) bool {
+	for _, e := range v {
+		if int(e.Part) < len(max) && max[e.Part] > e.Seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Follower) wake() {
+	f.notifyMu.Lock()
+	close(f.notify)
+	f.notify = make(chan struct{})
+	f.notifyMu.Unlock()
+}
+
+func (f *Follower) notifyCh() chan struct{} {
+	f.notifyMu.Lock()
+	defer f.notifyMu.Unlock()
+	return f.notify
+}
+
+// WaitApply applies l, blocking while its dependencies are unmet. Each time
+// the wait exceeds repairEvery, onRepair is invoked (if non-nil) so the
+// caller can fetch missing logs from the group predecessor; logs returned by
+// repair should be fed through Apply by the callback. WaitApply gives up
+// and reports false after deadline (zero means wait forever).
+func (f *Follower) WaitApply(l Log, repairEvery time.Duration, onRepair func(), deadline time.Duration) bool {
+	var elapsed time.Duration
+	for {
+		switch f.Apply(l) {
+		case Applied, Duplicate:
+			return true
+		case Blocked:
+		}
+		ch := f.notifyCh()
+		// Re-check after taking the channel: an Apply that advanced MAX
+		// between our Apply and notifyCh would otherwise be missed.
+		if out := f.Apply(l); out != Blocked {
+			return true
+		}
+		wait := repairEvery
+		if wait <= 0 {
+			wait = 5 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			if onRepair != nil {
+				onRepair()
+			}
+			elapsed += wait
+			if deadline > 0 && elapsed >= deadline {
+				return false
+			}
+		}
+	}
+}
+
+// Max snapshots the follower's MAX dependency vector.
+func (f *Follower) Max() []uint64 {
+	for i := range f.locks {
+		f.locks[i].Lock()
+	}
+	out := CloneDense(f.max)
+	for i := len(f.locks) - 1; i >= 0; i-- {
+		f.locks[i].Unlock()
+	}
+	return out
+}
+
+// RestoreMax installs a MAX vector (recovery initialization).
+func (f *Follower) RestoreMax(v []uint64) {
+	for i := range f.locks {
+		f.locks[i].Lock()
+	}
+	for i := range f.max {
+		if i < len(v) {
+			f.max[i] = v[i]
+		} else {
+			f.max[i] = 0
+		}
+	}
+	for i := len(f.locks) - 1; i >= 0; i-- {
+		f.locks[i].Unlock()
+	}
+	f.wake()
+}
+
+// Prune drops buffered logs covered by the commit vector.
+func (f *Follower) Prune(commit []uint64) { f.buf.Prune(commit) }
+
+// Missing returns buffered logs a peer with the given MAX still needs.
+func (f *Follower) Missing(max []uint64) []Log { return f.buf.Missing(max) }

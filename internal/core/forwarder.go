@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// forwarder is the element at the chain's ingress (§5): it receives the
+// piggyback messages the buffer transfers back from the chain's egress and
+// attaches them to incoming packets, so that state updates of middleboxes at
+// the end of the chain replicate at servers hosting the beginning.
+//
+// Pending logs are retransmitted (attached again) if no commit vector has
+// covered them after a resend interval, which keeps held packets releasable
+// even when an attaching packet is lost in the network. Followers suppress
+// the resulting duplicates via their MAX vectors.
+type forwarder struct {
+	mu      sync.Mutex
+	pending []pendingLog
+	commits map[uint16]SparseVec // latest commit per middlebox, not yet re-injected
+}
+
+type pendingLog struct {
+	log    Log
+	sentAt time.Time // zero until first attached
+}
+
+func newForwarder() *forwarder {
+	return &forwarder{commits: make(map[uint16]SparseVec)}
+}
+
+// addTransfer ingests a buffer-transfer message: wrapped logs join the
+// pending set, commit vectors are stored for re-injection and used to prune
+// pending logs that are already replicated f+1 times.
+func (f *forwarder) addTransfer(m *Message) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, c := range m.Commits {
+		prev := f.commits[c.MB]
+		f.commits[c.MB] = mergeSparseMax(prev, c.Vec)
+	}
+	for _, l := range m.Logs {
+		if f.committedLocked(l) {
+			continue
+		}
+		f.pending = append(f.pending, pendingLog{log: l})
+	}
+	f.prune()
+}
+
+// committedLocked reports whether the stored commit for l.MB covers l.
+func (f *forwarder) committedLocked(l Log) bool {
+	c, ok := f.commits[l.MB]
+	if !ok {
+		return false
+	}
+	need := uint64(1)
+	if l.Noop() {
+		need = 0
+	}
+	for _, e := range l.Vec {
+		if c.Get(e.Part) == DontCare || c.Get(e.Part) < e.Seq+need {
+			return false
+		}
+	}
+	return len(l.Vec) > 0
+}
+
+func (f *forwarder) prune() {
+	kept := f.pending[:0]
+	for _, p := range f.pending {
+		if !f.committedLocked(p.log) {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(f.pending); i++ {
+		f.pending[i] = pendingLog{}
+	}
+	f.pending = kept
+}
+
+// takeBatch bounds how many pending logs ride one packet: a burst can leave
+// thousands pending, and a single trailer tops out at 64 KiB. The backlog
+// drains across subsequent packets and propagating ticks.
+const takeBatch = 64
+
+// take returns the piggyback content to attach to the next packet entering
+// the chain: pending logs never attached (or overdue for resend, oldest
+// first, at most takeBatch of them) and every commit vector received since
+// the last take.
+func (f *forwarder) take(now time.Time, resendAfter time.Duration) ([]Log, []Commit) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var logs []Log
+	for i := range f.pending {
+		if len(logs) >= takeBatch {
+			break
+		}
+		p := &f.pending[i]
+		if p.sentAt.IsZero() || now.Sub(p.sentAt) >= resendAfter {
+			p.sentAt = now
+			logs = append(logs, p.log)
+		}
+	}
+	var commits []Commit
+	for mb, v := range f.commits {
+		commits = append(commits, Commit{MB: mb, Vec: v})
+	}
+	// Commits are re-injected once; tails refresh them on every packet, so
+	// holding them longer only bloats messages.
+	f.commits = make(map[uint16]SparseVec)
+	return logs, commits
+}
+
+// pendingLen reports the number of pending logs (for tests and metrics).
+func (f *forwarder) pendingLen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}
+
+// mergeSparseMax folds two sparse commit vectors entry-wise by maximum.
+func mergeSparseMax(a, b SparseVec) SparseVec {
+	if len(a) == 0 {
+		return b.Clone()
+	}
+	out := a.Clone()
+	for _, e := range b {
+		found := false
+		for i := range out {
+			if out[i].Part == e.Part {
+				if e.Seq > out[i].Seq {
+					out[i].Seq = e.Seq
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, e)
+		}
+	}
+	return NewSparseVec(out...)
+}

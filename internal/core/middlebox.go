@@ -1,0 +1,38 @@
+package core
+
+import (
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// Verdict is a middlebox's decision about a packet.
+type Verdict int
+
+// Verdicts.
+const (
+	// Forward sends the packet to the next element of the chain.
+	Forward Verdict = iota
+	// Drop filters the packet. Its piggyback message still propagates: the
+	// head emits a propagating packet carrying it (§5.1).
+	Drop
+)
+
+// Middlebox is a network function whose state lives in the FTC state store.
+// Process runs inside a packet transaction: all state reads and writes must
+// go through tx, which provides serializable isolation; the runtime
+// collects the resulting updates into the packet's piggyback log.
+//
+// Process may mutate the packet in place (NAT rewrites). It must not retain
+// the packet or slices of it after returning. Process must be safe for
+// concurrent invocation from multiple worker threads; per-packet state is
+// isolated by the transaction.
+//
+// To port an existing middlebox to FTC, replace its direct state accesses
+// with tx.Get/tx.Put/tx.Delete calls (§4.1: "its source code must be
+// modified to call our API for state reads and writes").
+type Middlebox interface {
+	// Name identifies the middlebox in logs and experiment output.
+	Name() string
+	// Process handles one packet within transaction tx.
+	Process(pkt *wire.Packet, tx state.Txn) (Verdict, error)
+}

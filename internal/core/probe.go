@@ -1,0 +1,24 @@
+package core
+
+import "github.com/ftsfc/ftc/internal/state"
+import "github.com/ftsfc/ftc/internal/wire"
+
+type probeCounter struct{ key string }
+
+func (p *probeCounter) Name() string { return "probe-" + p.key }
+
+func (p *probeCounter) Process(_ *wire.Packet, tx state.Txn) (Verdict, error) {
+	v, _, err := tx.Get(p.key)
+	if err != nil {
+		return Drop, err
+	}
+	return Forward, tx.Put(p.key, append(v[:0:0], 1))
+}
+
+// ForwarderPending reports the forwarder's pending log count (first node).
+func (r *Replica) ForwarderPending() int {
+	if r.fwd == nil {
+		return 0
+	}
+	return r.fwd.pendingLen()
+}

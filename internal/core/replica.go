@@ -1,0 +1,542 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// Stats counts data-plane events at a replica. All fields are atomic.
+type Stats struct {
+	RxFrames      atomic.Uint64 // frames received
+	TxFrames      atomic.Uint64 // frames forwarded to the next hop
+	Egress        atomic.Uint64 // packets released out of the chain
+	Held          atomic.Uint64 // packets ever held by the buffer
+	Filtered      atomic.Uint64 // packets dropped by the middlebox verdict
+	ParseErrors   atomic.Uint64
+	StaleGen      atomic.Uint64 // packets fenced by a generation mismatch
+	Repairs       atomic.Uint64 // repair RPCs issued
+	RepairedLogs  atomic.Uint64 // logs recovered via repair
+	ApplyTimeouts atomic.Uint64 // logs that could not be repaired in time
+	Duplicates    atomic.Uint64 // duplicate logs suppressed
+	MBErrors      atomic.Uint64 // middlebox processing errors
+	Propagating   atomic.Uint64 // propagating packets emitted
+}
+
+// Replica is one FTC chain node: it hosts a middlebox and the head of that
+// middlebox's replication group, follows the F preceding middleboxes, acts
+// as tail for one of them, and — at the ends of the chain — runs the
+// forwarder and buffer elements (§5). Extension replicas (rings longer than
+// the chain) host no middlebox and only replicate.
+type Replica struct {
+	cfg    Config
+	ring   Ring
+	idx    int
+	sim    *netsim.Node
+	fabric *netsim.Fabric
+	egress netsim.NodeID
+
+	mb        Middlebox
+	head      *Head // nil on extension replicas
+	followers map[uint16]*Follower
+
+	gen atomic.Uint32
+
+	routeMu sync.RWMutex
+	ringIDs []netsim.NodeID
+
+	commitMu   sync.Mutex
+	commitSeen map[uint16][]uint64
+	pruneTick  map[uint16]int
+
+	fwd *forwarder    // non-nil on ring node 0
+	buf *egressBuffer // non-nil on the last ring node
+
+	wrapOnce sync.Once
+	wrapped  []uint16 // middleboxes with wrapped groups (buffer bookkeeping)
+
+	tailTick     atomic.Uint32 // commit dissemination throttle (§4.1 "periodically")
+	lastCommit   atomic.Int64  // unix nanos of the last disseminated commit
+	carrier      []byte        // prebuilt carrier frame template
+	releaseDirty atomic.Bool   // new wrapped-group commits since last release scan
+
+	stats    Stats
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// ReplicaSpec carries the per-node wiring for NewReplica.
+type ReplicaSpec struct {
+	// Index is the node's ring position.
+	Index int
+	// Sim is the fabric node this replica runs on.
+	Sim *netsim.Node
+	// Fabric connects the chain.
+	Fabric *netsim.Fabric
+	// RingIDs are the fabric node IDs of all ring positions, in order.
+	RingIDs []netsim.NodeID
+	// Egress receives packets released from the chain (last node only).
+	Egress netsim.NodeID
+	// MB is the middlebox this node hosts; nil for extension replicas.
+	MB Middlebox
+}
+
+// NewReplica wires up (but does not start) a chain replica.
+func NewReplica(cfg Config, spec ReplicaSpec) *Replica {
+	cfg = cfg.WithDefaults()
+	ring := cfg.Ring()
+	r := &Replica{
+		cfg:        cfg,
+		ring:       ring,
+		idx:        spec.Index,
+		sim:        spec.Sim,
+		fabric:     spec.Fabric,
+		egress:     spec.Egress,
+		mb:         spec.MB,
+		followers:  make(map[uint16]*Follower),
+		ringIDs:    append([]netsim.NodeID(nil), spec.RingIDs...),
+		commitSeen: make(map[uint16][]uint64),
+		pruneTick:  make(map[uint16]int),
+		stopped:    make(chan struct{}),
+	}
+	r.gen.Store(cfg.Gen)
+	if spec.MB != nil {
+		r.head = NewHead(uint16(spec.Index), cfg.NewStore(cfg.Partitions))
+	}
+	for _, j := range ring.FollowerOf(spec.Index) {
+		r.followers[uint16(j)] = NewFollower(uint16(j), cfg.NewStore(cfg.Partitions))
+	}
+	for j := 0; j < cfg.NumMB; j++ {
+		r.commitSeen[uint16(j)] = make([]uint64, cfg.Partitions)
+	}
+	if spec.Index == 0 {
+		r.fwd = newForwarder()
+	}
+	if spec.Index == ring.M()-1 {
+		r.buf = newEgressBuffer()
+	}
+	return r
+}
+
+// Index returns the replica's ring position.
+func (r *Replica) Index() int { return r.idx }
+
+// SimID returns the fabric node ID the replica runs on.
+func (r *Replica) SimID() netsim.NodeID { return r.sim.ID() }
+
+// Head returns the replica's head role (nil on extension replicas).
+func (r *Replica) Head() *Head { return r.head }
+
+// Follower returns the replica's follower role for middlebox j, or nil.
+func (r *Replica) Follower(j uint16) *Follower { return r.followers[j] }
+
+// Stats exposes the replica's counters.
+func (r *Replica) Stats() *Stats { return &r.stats }
+
+// Gen returns the replica's current chain generation.
+func (r *Replica) Gen() uint32 { return r.gen.Load() }
+
+// SetGen fences the replica onto a new chain generation.
+func (r *Replica) SetGen(g uint32) { r.gen.Store(g) }
+
+// Start launches the worker threads and, on the first node, the propagating
+// timer, and registers the control-plane handlers.
+func (r *Replica) Start() {
+	r.registerControl()
+	for q := 0; q < r.sim.NumQueues(); q++ {
+		r.wg.Add(1)
+		go func(q int) {
+			defer r.wg.Done()
+			for {
+				in, ok := r.sim.Recv(q)
+				if !ok {
+					return
+				}
+				r.handleFrame(in)
+			}
+		}(q)
+	}
+	if r.fwd != nil {
+		r.wg.Add(1)
+		go r.propagateLoop()
+	}
+}
+
+// Stop terminates the replica's goroutines. The underlying fabric node is
+// left intact (use Crash on the netsim node to fail-stop it).
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stopped)
+		r.sim.Crash()
+	})
+	r.wg.Wait()
+}
+
+// nextHop returns the fabric ID of the next ring node, or "" on the last.
+func (r *Replica) nextHop() netsim.NodeID {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	if r.idx+1 < len(r.ringIDs) {
+		return r.ringIDs[r.idx+1]
+	}
+	return ""
+}
+
+func (r *Replica) ringID(i int) netsim.NodeID {
+	r.routeMu.RLock()
+	defer r.routeMu.RUnlock()
+	return r.ringIDs[i]
+}
+
+// SetRoute updates the fabric ID of ring position i (recovery rerouting).
+func (r *Replica) SetRoute(i int, id netsim.NodeID) {
+	r.routeMu.Lock()
+	if i >= 0 && i < len(r.ringIDs) {
+		r.ringIDs[i] = id
+	}
+	r.routeMu.Unlock()
+}
+
+func (r *Replica) handleFrame(in netsim.Inbound) {
+	r.stats.RxFrames.Add(1)
+	pkt, err := wire.Parse(in.Frame)
+	if err != nil {
+		r.stats.ParseErrors.Add(1)
+		return
+	}
+	var msg *Message
+	if tr := pkt.Trailer(); tr != nil {
+		msg, err = DecodeMessage(tr)
+		if err != nil {
+			r.stats.ParseErrors.Add(1)
+			return
+		}
+	}
+	gen := r.gen.Load()
+	if msg == nil {
+		// External ingress: only the forwarder admits raw packets.
+		if r.fwd == nil {
+			r.stats.ParseErrors.Add(1)
+			return
+		}
+		logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter)
+		msg = &Message{Gen: gen, Logs: logs, Commits: commits}
+		if err := pkt.InsertFTCOption(); err != nil {
+			r.stats.ParseErrors.Add(1)
+			return
+		}
+	} else {
+		if msg.Gen != gen {
+			r.stats.StaleGen.Add(1)
+			return
+		}
+		if msg.Flags&FlagBufferTransfer != 0 {
+			if r.fwd != nil {
+				r.fwd.addTransfer(msg)
+				r.pruneFromCommits(msg.Commits)
+			}
+			return
+		}
+	}
+	r.processPacket(pkt, msg)
+}
+
+// processPacket runs the full §5.1 pipeline for one packet at this replica.
+func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) {
+	// 1. Commit vectors: merge for pruning and buffer release. A commit
+	// rides the full ring — through the buffer→forwarder transfer when the
+	// group wraps — so every member and the buffer see it; it retires when
+	// it arrives back at the tail that mints it.
+	kept := msg.Commits[:0]
+	for _, c := range msg.Commits {
+		r.mergeCommit(c.MB, c.Vec)
+		if r.ring.TailOf(r.idx) == int(c.MB) {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	msg.Commits = kept
+
+	// 2. Piggyback logs: replicate in dependency order; tails strip the log
+	// they have just replicated for the f+1'th time.
+	keptLogs := msg.Logs[:0]
+	for _, l := range msg.Logs {
+		if r.head != nil && l.MB == r.head.MB() {
+			continue // our own log completed the loop (only when wrapped and repair raced)
+		}
+		f := r.followers[l.MB]
+		if f == nil {
+			keptLogs = append(keptLogs, l) // passing through (not in this group)
+			continue
+		}
+		mb := l.MB
+		if !f.WaitApply(l, r.cfg.RepairEvery, func() { r.repair(mb, f) }, r.cfg.RepairDeadline) {
+			r.stats.ApplyTimeouts.Add(1)
+			keptLogs = append(keptLogs, l)
+			continue
+		}
+		if r.ring.TailOf(r.idx) == int(l.MB) {
+			continue // f+1 times replicated; strip (§5.1)
+		}
+		keptLogs = append(keptLogs, l)
+	}
+	msg.Logs = keptLogs
+
+	// 3. The packet transaction (data packets only; propagating packets are
+	// never handed to middleboxes, §5.1).
+	if r.head != nil && !msg.Propagating() {
+		var verdict Verdict
+		log, err := r.head.Transaction(func(tx state.Txn) error {
+			v, perr := r.mb.Process(pkt, tx)
+			verdict = v
+			return perr
+		})
+		if err != nil {
+			r.stats.MBErrors.Add(1)
+			verdict = Drop
+			log = Log{MB: r.head.MB(), Flags: LogNoop}
+		}
+		msg.Logs = append(msg.Logs, log)
+		if verdict == Drop {
+			r.stats.Filtered.Add(1)
+			// The filtered packet's piggyback message continues on a
+			// propagating packet generated by this head (§5.1).
+			msg.Flags |= FlagPropagating
+			r.emitPropagating(msg)
+			return
+		}
+	}
+
+	// 4. Tail duty: announce the latest f+1-replicated prefix. The tail
+	// disseminates "periodically" (§4.1): every commitEvery'th packet and on
+	// every propagating packet, so idle chains still make release progress
+	// without paying a full MAX snapshot per packet.
+	if j := r.ring.TailOf(r.idx); j >= 0 {
+		if msg.Propagating() || r.tailTick.Add(1)%commitEvery == 1 || r.commitStale() {
+			var dense []uint64
+			if f := r.followers[uint16(j)]; f != nil {
+				dense = f.Max()
+			} else if r.head != nil && int(r.head.MB()) == j {
+				dense = r.head.Vector() // F == 0: the head is its own tail
+			}
+			if dense != nil {
+				sv := SparseFromDense(dense)
+				r.mergeCommit(uint16(j), sv)
+				msg.Commits = append(msg.Commits, Commit{MB: uint16(j), Vec: sv})
+			}
+		}
+	}
+
+	// 5. Forward along the chain, or run the buffer at the chain's end.
+	if r.buf != nil {
+		r.bufferStage(pkt, msg)
+		return
+	}
+	r.forward(pkt, msg)
+}
+
+func (r *Replica) forward(pkt *wire.Packet, msg *Message) {
+	if err := pkt.SetTrailer(msg.Encode(make([]byte, 0, msg.LenEstimate()))); err != nil {
+		r.stats.ParseErrors.Add(1)
+		return
+	}
+	next := r.nextHop()
+	if next == "" {
+		return
+	}
+	// Blocking send: pipeline stages exert flow control on each other, like
+	// the paper's DPDK rings — overload drops happen at the chain ingress,
+	// never between replicas (which would cost repair round trips).
+	if err := r.sim.SendBlocking(next, pkt.Buf); err == nil {
+		r.stats.TxFrames.Add(1)
+	}
+}
+
+// mergeCommit folds a commit vector into the replica's view. Retransmission
+// buffers are pruned on an amortized schedule: commits arrive on every
+// packet, but an O(buffer) scan per packet would dominate the data plane
+// (the paper prunes "periodically", §4.1).
+func (r *Replica) mergeCommit(mb uint16, v SparseVec) {
+	r.commitMu.Lock()
+	seen, ok := r.commitSeen[mb]
+	if !ok {
+		seen = make([]uint64, r.cfg.Partitions)
+		r.commitSeen[mb] = seen
+	}
+	for _, e := range v {
+		if int(e.Part) < len(seen) && e.Seq > seen[e.Part] {
+			seen[e.Part] = e.Seq
+		}
+	}
+	if r.buf != nil && r.ring.Wrapped(int(mb)) {
+		r.releaseDirty.Store(true)
+	}
+	r.pruneTick[mb]++
+	due := r.pruneTick[mb] >= 128
+	if due {
+		r.pruneTick[mb] = 0
+	}
+	var snapshot []uint64
+	if due {
+		snapshot = CloneDense(seen)
+	}
+	r.commitMu.Unlock()
+	if !due {
+		return
+	}
+	if r.head != nil && r.head.MB() == mb {
+		r.head.Buffer().Prune(snapshot)
+	}
+	if f := r.followers[mb]; f != nil {
+		f.Prune(snapshot)
+	}
+}
+
+func (r *Replica) pruneFromCommits(commits []Commit) {
+	for _, c := range commits {
+		r.mergeCommit(c.MB, c.Vec)
+	}
+}
+
+func (r *Replica) commitSnapshot(mb uint16) []uint64 {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
+	return CloneDense(r.commitSeen[mb])
+}
+
+// repair fetches missing logs for middlebox mb from this replica's group
+// predecessor (§4.1: "a replica requests its predecessor to retransmit").
+func (r *Replica) repair(mb uint16, f *Follower) {
+	pred := r.ring.PredecessorInGroup(r.idx, int(mb))
+	if pred < 0 {
+		return
+	}
+	r.stats.Repairs.Add(1)
+	req := encodeRepairReq(mb, f.Max())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	resp, err := r.fabric.Call(ctx, r.sim.ID(), r.ringID(pred), rpcRepair, req)
+	if err != nil {
+		return
+	}
+	m, err := DecodeMessage(resp)
+	if err != nil {
+		return
+	}
+	for _, l := range m.Logs {
+		switch f.Apply(l) {
+		case Applied:
+			r.stats.RepairedLogs.Add(1)
+		case Duplicate:
+			r.stats.Duplicates.Add(1)
+		}
+	}
+}
+
+// emitPropagating sends msg through the rest of the chain on a synthetic
+// packet (idle-timer propagation, filtered packets, §5.1).
+func (r *Replica) emitPropagating(msg *Message) {
+	msg.Flags |= FlagPropagating
+	pkt := r.carrierFrom(msg.LenEstimate())
+	r.stats.Propagating.Add(1)
+	if r.buf != nil {
+		// Last node: the propagating content goes straight to the buffer
+		// stage (nothing further down the chain).
+		r.bufferStage(pkt, msg)
+		return
+	}
+	r.forward(pkt, msg)
+}
+
+// propagateLoop is the forwarder's idle timer (§5.1): when traffic pauses,
+// pending piggyback state still flows through the chain.
+func (r *Replica) propagateLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.PropagateEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case <-t.C:
+			// Drain the whole pending backlog in bounded batches so a
+			// traffic burst's worth of wrapped logs replicates promptly.
+			for {
+				logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter)
+				if len(logs) == 0 && len(commits) == 0 {
+					break
+				}
+				msg := &Message{Gen: r.gen.Load(), Flags: FlagPropagating, Logs: logs, Commits: commits}
+				r.processPacket(mustCarrier(), msg)
+				if len(logs) < takeBatch {
+					break
+				}
+			}
+		}
+	}
+}
+
+// commitEvery throttles tail commit dissemination and the buffer's
+// commit-view transfers to once per this many packets; Config.CommitRefresh
+// bounds the staleness in time at low rates.
+const commitEvery = 16
+
+// commitStale reports (and refreshes) whether the time-based commit
+// dissemination deadline has passed.
+func (r *Replica) commitStale() bool {
+	now := time.Now().UnixNano()
+	last := r.lastCommit.Load()
+	if now-last < int64(r.cfg.CommitRefresh) {
+		return false
+	}
+	return r.lastCommit.CompareAndSwap(last, now)
+}
+
+// carrierFrom builds a carrier packet from the replica's prebuilt template,
+// avoiding a full header build + checksum per control frame.
+func (r *Replica) carrierFrom(trailerCap int) *wire.Packet {
+	if r.carrier == nil {
+		r.carrier = mustCarrier().Buf
+	}
+	buf := make([]byte, len(r.carrier), len(r.carrier)+trailerCap+8)
+	copy(buf, r.carrier)
+	p, err := wire.Parse(buf)
+	if err != nil {
+		panic("core: carrier template unparseable: " + err.Error())
+	}
+	return p
+}
+
+func buildCarrierPacket() (*wire.Packet, error) {
+	return wire.BuildUDP(wire.UDPSpec{
+		SrcMAC:  wire.MAC{0x02, 0xf7, 0xc0, 0, 0, 1},
+		DstMAC:  wire.MAC{0x02, 0xf7, 0xc0, 0, 0, 2},
+		Src:     wire.Addr4(169, 254, 0, 1), // link-local: never routed outside
+		Dst:     wire.Addr4(169, 254, 0, 2),
+		SrcPort: 0xF7C0, DstPort: 0xF7C0,
+		Headroom: 256,
+	})
+}
+
+func mustCarrier() *wire.Packet {
+	p, err := buildCarrierPacket()
+	if err != nil {
+		panic("core: carrier packet build failed: " + err.Error())
+	}
+	return p
+}
+
+// HeldPackets reports how many packets the buffer currently holds (last
+// node only; 0 elsewhere).
+func (r *Replica) HeldPackets() int {
+	if r.buf == nil {
+		return 0
+	}
+	return r.buf.len()
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is active; performance-
+// shape tests skip under it since instrumentation distorts relative costs.
+const raceEnabled = true

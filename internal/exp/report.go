@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result, one per paper table/figure.
+type Table struct {
+	ID     string // e.g. "Figure 9"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtRate renders packets-per-second compactly (kpps/Mpps).
+func fmtRate(pps float64) string {
+	switch {
+	case pps >= 1e6:
+		return fmt.Sprintf("%.2f Mpps", pps/1e6)
+	case pps >= 1e3:
+		return fmt.Sprintf("%.1f kpps", pps/1e3)
+	default:
+		return fmt.Sprintf("%.0f pps", pps)
+	}
+}
+
+// fmtRatio renders a speedup like the paper's "2–3.5×" comparisons.
+func fmtRatio(a, b float64) string {
+	if b <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}

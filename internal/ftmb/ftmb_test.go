@@ -1,0 +1,158 @@
+package ftmb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/mbox"
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+func sendAndCollect(t *testing.T, cfg Config, mbs []core.Middlebox, n int) (*Chain, []*wire.Packet, *netsim.Fabric) {
+	t.Helper()
+	f := netsim.New(netsim.Config{})
+	gen := f.AddNode("gen", netsim.NodeConfig{QueueCap: 1 << 14})
+	sink := f.AddNode("sink", netsim.NodeConfig{QueueCap: 1 << 14})
+	c := NewChain(cfg, f, "t", mbs, "sink")
+	c.Start()
+	t.Cleanup(func() {
+		c.Stop()
+		f.Stop()
+	})
+	for i := 0; i < n; i++ {
+		p, err := wire.BuildUDP(wire.UDPSpec{
+			SrcMAC: wire.MAC{2, 0, 0, 0, 0, 1}, DstMAC: wire.MAC{2, 0, 0, 0, 0, 2},
+			Src: wire.Addr4(10, 0, byte(i>>8), byte(i)), Dst: wire.Addr4(192, 0, 2, 1),
+			SrcPort: uint16(1024 + i), DstPort: 80,
+			Payload: []byte(fmt.Sprintf("p%05d", i)), Headroom: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gen.Send(c.IngressID(), p.Buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out []*wire.Packet
+	deadline := time.After(15 * time.Second)
+	for len(out) < n {
+		select {
+		case <-deadline:
+			t.Fatalf("collected %d of %d", len(out), n)
+		default:
+		}
+		in, ok := sink.TryRecv(0)
+		if !ok {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		p, err := wire.Parse(in.Frame)
+		if err != nil {
+			t.Fatalf("bad egress frame: %v", err)
+		}
+		out = append(out, p)
+	}
+	return c, out, f
+}
+
+func TestFTMBEndToEnd(t *testing.T) {
+	mbs := []core.Middlebox{mbox.NewMonitor(1, 2), mbox.NewMonitor(1, 2)}
+	c, pkts, _ := sendAndCollect(t, Config{Workers: 2}, mbs, 100)
+	for _, p := range pkts {
+		if p.HasTrailer() {
+			t.Fatal("released packet still carries FTMB framing")
+		}
+		if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+			t.Fatal("bad checksums on egress")
+		}
+	}
+	// Both monitors counted all 100 packets.
+	for i := 0; i < 2; i++ {
+		var total uint64
+		for g := 0; g < 2; g++ {
+			if v, ok := c.Store(i).Get(fmt.Sprintf("pkt-count-%d", g)); ok {
+				total += binary.BigEndian.Uint64(v)
+			}
+		}
+		if total != 100 {
+			t.Fatalf("stage %d counted %d", i, total)
+		}
+		if c.Released(i) != 100 {
+			t.Fatalf("stage %d released %d", i, c.Released(i))
+		}
+	}
+}
+
+func TestFTMBUsesTwoServersPerMiddlebox(t *testing.T) {
+	f := netsim.New(netsim.Config{})
+	defer f.Stop()
+	c := NewChain(Config{}, f, "t", []core.Middlebox{mbox.NewMonitor(1, 1), mbox.NewMonitor(1, 1), mbox.NewMonitor(1, 1)}, "")
+	if c.Servers() != 6 {
+		t.Fatalf("servers = %d, want 6", c.Servers())
+	}
+}
+
+func TestFTMBWithNAT(t *testing.T) {
+	nat := mbox.NewSimpleNAT(wire.Addr4(203, 0, 113, 1), 10000, 1000)
+	_, pkts, _ := sendAndCollect(t, Config{Workers: 2}, []core.Middlebox{nat}, 50)
+	seen := map[uint16]bool{}
+	for _, p := range pkts {
+		if p.IP.Src != wire.Addr4(203, 0, 113, 1) {
+			t.Fatal("NAT did not translate under FTMB")
+		}
+		if seen[p.UDP.SrcPort] {
+			t.Fatal("duplicate NAT binding")
+		}
+		seen[p.UDP.SrcPort] = true
+	}
+}
+
+func TestFTMBSnapshotStallReducesThroughput(t *testing.T) {
+	// With aggressive snapshot parameters the same offered load takes
+	// measurably longer end to end.
+	mbs := func() []core.Middlebox { return []core.Middlebox{mbox.NewMonitor(1, 1)} }
+	start := time.Now()
+	sendAndCollectB := func(cfg Config) time.Duration {
+		t0 := time.Now()
+		_, _, _ = sendAndCollect(t, cfg, mbs(), 300)
+		return time.Since(t0)
+	}
+	plain := sendAndCollectB(Config{})
+	stalled := sendAndCollectB(Config{SnapshotEvery: 3 * time.Millisecond, SnapshotStall: 2 * time.Millisecond})
+	if stalled <= plain {
+		t.Logf("plain=%v stalled=%v (timing-dependent; only logged)", plain, stalled)
+	}
+	_ = start
+}
+
+func TestFTMBConfigDefaults(t *testing.T) {
+	c := Config{SnapshotEvery: 50 * time.Millisecond}.WithDefaults()
+	if c.SnapshotStall != 6*time.Millisecond {
+		t.Fatalf("default stall = %v", c.SnapshotStall)
+	}
+	if c.Partitions != 64 || c.Workers != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+}
+
+func TestPALTrailerRoundTripShape(t *testing.T) {
+	acc := []palAccess{{partition: 3, seq: 9}, {partition: 1, seq: 2}}
+	b := encodePALTrailer(42, acc)
+	if b[0] != kindPAL {
+		t.Fatal("kind")
+	}
+	if binary.BigEndian.Uint64(b[1:9]) != 42 {
+		t.Fatal("id")
+	}
+	if binary.BigEndian.Uint16(b[9:11]) != 2 {
+		t.Fatal("count")
+	}
+	d := encodeDataTrailer(7)
+	if d[0] != kindData || binary.BigEndian.Uint64(d[1:9]) != 7 {
+		t.Fatal("data trailer")
+	}
+}

@@ -1,0 +1,136 @@
+package mbox
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+var (
+	vip      = wire.Addr4(203, 0, 113, 100)
+	backends = []wire.IPv4Addr{
+		wire.Addr4(10, 1, 0, 1),
+		wire.Addr4(10, 1, 0, 2),
+		wire.Addr4(10, 1, 0, 3),
+	}
+)
+
+func newLB(t *testing.T) *LoadBalancer {
+	t.Helper()
+	lb, err := NewLoadBalancer(vip, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lb
+}
+
+func TestLoadBalancerRejectsEmptyPool(t *testing.T) {
+	if _, err := NewLoadBalancer(vip, nil); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+}
+
+func TestLoadBalancerConnectionPersistence(t *testing.T) {
+	lb := newLB(t)
+	s := state.New(64)
+	p1 := udpPacket(t, wire.Addr4(10, 0, 0, 1), vip, 5555, 80)
+	process(t, lb, s, p1)
+	first := p1.IP.Dst
+	isBackend := false
+	for _, b := range backends {
+		if first == b {
+			isBackend = true
+		}
+	}
+	if !isBackend {
+		t.Fatalf("dst %v not a backend", first)
+	}
+	// Same flow always lands on the same backend (§3.2).
+	for i := 0; i < 5; i++ {
+		p := udpPacket(t, wire.Addr4(10, 0, 0, 1), vip, 5555, 80)
+		process(t, lb, s, p)
+		if p.IP.Dst != first {
+			t.Fatalf("persistence broken: %v then %v", first, p.IP.Dst)
+		}
+	}
+}
+
+func TestLoadBalancerSpreadsFlows(t *testing.T) {
+	lb := newLB(t)
+	s := state.New(64)
+	counts := map[wire.IPv4Addr]int{}
+	for i := 0; i < 30; i++ {
+		p := udpPacket(t, wire.Addr4(10, 0, 1, byte(i)), vip, uint16(6000+i), 80)
+		process(t, lb, s, p)
+		counts[p.IP.Dst]++
+	}
+	// Least-loaded selection gives a perfectly even 10/10/10 split.
+	for _, b := range backends {
+		if counts[b] != 10 {
+			t.Fatalf("uneven split: %v", counts)
+		}
+	}
+}
+
+func TestLoadBalancerIgnoresNonVIP(t *testing.T) {
+	lb := newLB(t)
+	s := state.New(64)
+	p := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(8, 8, 8, 8), 5555, 80)
+	if v := process(t, lb, s, p); v != core.Forward {
+		t.Fatal("non-VIP traffic dropped")
+	}
+	if p.IP.Dst != wire.Addr4(8, 8, 8, 8) {
+		t.Fatal("non-VIP traffic rewritten")
+	}
+	if s.Len() != 0 {
+		t.Fatal("state written for non-VIP traffic")
+	}
+}
+
+func TestLoadBalancerChecksumsValid(t *testing.T) {
+	lb := newLB(t)
+	s := state.New(64)
+	p := udpPacket(t, wire.Addr4(10, 0, 0, 1), vip, 5555, 80)
+	process(t, lb, s, p)
+	if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+		t.Fatal("invalid checksums after rewrite")
+	}
+}
+
+// TestLoadBalancerConcurrentPersistence drives the same flow from many
+// threads at once: transaction isolation must give all packets the same
+// backend even when the flow entry is created under the race.
+func TestLoadBalancerConcurrentPersistence(t *testing.T) {
+	lb := newLB(t)
+	s := state.New(64)
+	var mu sync.Mutex
+	seen := map[wire.IPv4Addr]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := udpPacket(t, wire.Addr4(10, 0, 0, 9), vip, 7777, 80)
+				_, err := s.Exec(func(tx state.Txn) error {
+					_, perr := lb.Process(p, tx)
+					return perr
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				seen[p.IP.Dst] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1 {
+		t.Fatalf("one flow hit %d backends: %v", len(seen), seen)
+	}
+}

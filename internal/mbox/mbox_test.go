@@ -1,0 +1,347 @@
+package mbox
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+func udpPacket(t testing.TB, src, dst wire.IPv4Addr, sport, dport uint16) *wire.Packet {
+	t.Helper()
+	p, err := wire.BuildUDP(wire.UDPSpec{
+		SrcMAC: wire.MAC{2, 0, 0, 0, 0, 1}, DstMAC: wire.MAC{2, 0, 0, 0, 0, 2},
+		Src: src, Dst: dst, SrcPort: sport, DstPort: dport,
+		Payload: []byte("data"), Headroom: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func process(t testing.TB, mb core.Middlebox, s *state.Store, p *wire.Packet) core.Verdict {
+	t.Helper()
+	var v core.Verdict
+	_, err := s.Exec(func(tx state.Txn) error {
+		var perr error
+		v, perr = mb.Process(p, tx)
+		return perr
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", mb.Name(), err)
+	}
+	return v
+}
+
+func TestSimpleNATAllocatesStableBinding(t *testing.T) {
+	s := state.New(64)
+	nat := NewSimpleNAT(wire.Addr4(203, 0, 113, 1), 10000, 100)
+	p1 := udpPacket(t, wire.Addr4(10, 0, 0, 5), wire.Addr4(8, 8, 8, 8), 5555, 53)
+	process(t, nat, s, p1)
+	if p1.IP.Src != wire.Addr4(203, 0, 113, 1) {
+		t.Fatalf("src not translated: %v", p1.IP.Src)
+	}
+	firstPort := p1.UDP.SrcPort
+	if firstPort != 10000 {
+		t.Fatalf("first port = %d", firstPort)
+	}
+	// Same flow again: same binding (connection persistence).
+	p2 := udpPacket(t, wire.Addr4(10, 0, 0, 5), wire.Addr4(8, 8, 8, 8), 5555, 53)
+	process(t, nat, s, p2)
+	if p2.UDP.SrcPort != firstPort {
+		t.Fatalf("binding changed: %d then %d", firstPort, p2.UDP.SrcPort)
+	}
+	// Different flow: different port.
+	p3 := udpPacket(t, wire.Addr4(10, 0, 0, 6), wire.Addr4(8, 8, 8, 8), 5555, 53)
+	process(t, nat, s, p3)
+	if p3.UDP.SrcPort == firstPort {
+		t.Fatal("two flows share a binding")
+	}
+	if !p3.VerifyIPChecksum() || !p3.VerifyL4Checksum() {
+		t.Fatal("checksums invalid after NAT")
+	}
+}
+
+func TestSimpleNATPortExhaustion(t *testing.T) {
+	s := state.New(64)
+	nat := NewSimpleNAT(wire.Addr4(203, 0, 113, 1), 10000, 2)
+	for i := 0; i < 2; i++ {
+		p := udpPacket(t, wire.Addr4(10, 0, 0, byte(i+1)), wire.Addr4(8, 8, 8, 8), 1000, 80)
+		if v := process(t, nat, s, p); v != core.Forward {
+			t.Fatalf("flow %d dropped", i)
+		}
+	}
+	p := udpPacket(t, wire.Addr4(10, 0, 0, 99), wire.Addr4(8, 8, 8, 8), 1000, 80)
+	_, err := s.Exec(func(tx state.Txn) error {
+		_, perr := nat.Process(p, tx)
+		return perr
+	})
+	if err == nil {
+		t.Fatal("expected port exhaustion error")
+	}
+}
+
+func TestSimpleNATPassesNonTransport(t *testing.T) {
+	s := state.New(64)
+	nat := NewSimpleNAT(wire.Addr4(203, 0, 113, 1), 10000, 10)
+	p := udpPacket(t, wire.Addr4(10, 0, 0, 5), wire.Addr4(8, 8, 8, 8), 1, 2)
+	// Rewrite protocol to ICMP (non-transport) and clear trailer parse.
+	p.Buf[wire.EthernetHeaderLen+9] = wire.ProtoICMP
+	p2, err := wire.Parse(p.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := process(t, nat, s, p2); v != core.Forward {
+		t.Fatal("non-transport packet dropped")
+	}
+	if s.Len() != 0 {
+		t.Fatal("state written for non-transport packet")
+	}
+}
+
+func TestSimpleNATConcurrentUniquePorts(t *testing.T) {
+	s := state.New(64)
+	nat := NewSimpleNAT(wire.Addr4(203, 0, 113, 1), 10000, 1000)
+	var mu sync.Mutex
+	ports := map[uint16][]byte{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p := udpPacket(t, wire.Addr4(10, 0, byte(w), byte(i)), wire.Addr4(8, 8, 8, 8), 777, 80)
+				_, err := s.Exec(func(tx state.Txn) error {
+					_, perr := nat.Process(p, tx)
+					return perr
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				key := fmt.Sprintf("%d-%d", w, i)
+				if prev, ok := ports[p.UDP.SrcPort]; ok {
+					t.Errorf("port %d double-allocated: %s and %s", p.UDP.SrcPort, prev, key)
+				}
+				ports[p.UDP.SrcPort] = []byte(key)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(ports) != 400 {
+		t.Fatalf("unique ports = %d, want 400", len(ports))
+	}
+}
+
+func TestMazuNATRoundTrip(t *testing.T) {
+	s := state.New(64)
+	nat := NewMazuNAT(wire.Addr4(203, 0, 113, 9), 20000, 100, wire.Addr4(10, 0, 0, 0), 8)
+	// Outbound: internal 10.1.2.3:4444 → 1.2.3.4:80.
+	out := udpPacket(t, wire.Addr4(10, 1, 2, 3), wire.Addr4(1, 2, 3, 4), 4444, 80)
+	if v := process(t, nat, s, out); v != core.Forward {
+		t.Fatal("outbound dropped")
+	}
+	if out.IP.Src != wire.Addr4(203, 0, 113, 9) {
+		t.Fatalf("outbound src = %v", out.IP.Src)
+	}
+	extPort := out.UDP.SrcPort
+	// Inbound reply: 1.2.3.4:80 → extIP:extPort must translate back.
+	in := udpPacket(t, wire.Addr4(1, 2, 3, 4), wire.Addr4(203, 0, 113, 9), 80, extPort)
+	if v := process(t, nat, s, in); v != core.Forward {
+		t.Fatal("inbound dropped")
+	}
+	if in.IP.Dst != wire.Addr4(10, 1, 2, 3) || in.UDP.DstPort != 4444 {
+		t.Fatalf("inbound translated to %v:%d", in.IP.Dst, in.UDP.DstPort)
+	}
+	if !in.VerifyIPChecksum() || !in.VerifyL4Checksum() {
+		t.Fatal("checksums invalid after reverse NAT")
+	}
+}
+
+func TestMazuNATDropsUnsolicitedInbound(t *testing.T) {
+	s := state.New(64)
+	nat := NewMazuNAT(wire.Addr4(203, 0, 113, 9), 20000, 100, wire.Addr4(10, 0, 0, 0), 8)
+	in := udpPacket(t, wire.Addr4(1, 2, 3, 4), wire.Addr4(203, 0, 113, 9), 80, 20005)
+	if v := process(t, nat, s, in); v != core.Drop {
+		t.Fatal("unsolicited inbound not dropped")
+	}
+}
+
+func TestMazuNATEstablishedFlowIsReadOnly(t *testing.T) {
+	s := state.New(64)
+	nat := NewMazuNAT(wire.Addr4(203, 0, 113, 9), 20000, 100, wire.Addr4(10, 0, 0, 0), 8)
+	p := udpPacket(t, wire.Addr4(10, 1, 2, 3), wire.Addr4(1, 2, 3, 4), 4444, 80)
+	process(t, nat, s, p) // setup: writes
+	p2 := udpPacket(t, wire.Addr4(10, 1, 2, 3), wire.Addr4(1, 2, 3, 4), 4444, 80)
+	res, err := s.Exec(func(tx state.Txn) error {
+		_, perr := nat.Process(p2, tx)
+		return perr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReadOnly {
+		t.Fatal("established flow should be read-only (the paper's read-heavy pattern)")
+	}
+}
+
+func TestMazuNATTransitTrafficUntouched(t *testing.T) {
+	s := state.New(64)
+	nat := NewMazuNAT(wire.Addr4(203, 0, 113, 9), 20000, 100, wire.Addr4(10, 0, 0, 0), 8)
+	p := udpPacket(t, wire.Addr4(172, 16, 0, 1), wire.Addr4(1, 2, 3, 4), 1, 2)
+	if v := process(t, nat, s, p); v != core.Forward {
+		t.Fatal("transit dropped")
+	}
+	if p.IP.Src != wire.Addr4(172, 16, 0, 1) {
+		t.Fatal("transit rewritten")
+	}
+}
+
+func TestMonitorCounts(t *testing.T) {
+	s := state.New(64)
+	mon := NewMonitor(8, 8) // all workers share one counter
+	for i := 0; i < 10; i++ {
+		p := udpPacket(t, wire.Addr4(10, 0, 0, byte(i)), wire.Addr4(8, 8, 8, 8), uint16(1000+i), 80)
+		if v := process(t, mon, s, p); v != core.Forward {
+			t.Fatal("monitor dropped packet")
+		}
+	}
+	v, ok := s.Get("pkt-count-0")
+	if !ok {
+		t.Fatal("no counter written")
+	}
+	var total uint64
+	for i := 0; i < 8; i++ {
+		if c, ok := s.Get(fmt.Sprintf("pkt-count-%d", i)); ok {
+			total += beUint64(c)
+		}
+	}
+	if total != 10 {
+		t.Fatalf("total counted = %d, want 10", total)
+	}
+	_ = v
+}
+
+func beUint64(b []byte) uint64 {
+	var n uint64
+	for _, x := range b {
+		n = n<<8 | uint64(x)
+	}
+	return n
+}
+
+func TestMonitorSharingLevelSpreadsCounters(t *testing.T) {
+	sLow := state.New(64)
+	monLow := NewMonitor(1, 8) // each worker its own counter
+	for i := 0; i < 64; i++ {
+		p := udpPacket(t, wire.Addr4(10, 0, byte(i), byte(i)), wire.Addr4(8, 8, 8, 8), uint16(i)+1, 80)
+		process(t, monLow, sLow, p)
+	}
+	distinct := 0
+	for i := 0; i < 8; i++ {
+		if _, ok := sLow.Get(fmt.Sprintf("pkt-count-%d", i)); ok {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Fatalf("sharing level 1 should spread counters, got %d", distinct)
+	}
+}
+
+func TestGenWritesConfiguredSize(t *testing.T) {
+	s := state.New(64)
+	g := NewGen(128, 4)
+	p := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(8, 8, 8, 8), 1, 2)
+	res, err := s.Exec(func(tx state.Txn) error {
+		_, perr := g.Process(p, tx)
+		return perr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadOnly {
+		t.Fatal("Gen must be write-heavy")
+	}
+	if len(res.Updates) != 1 || len(res.Updates[0].Value) != 128 {
+		t.Fatalf("updates = %+v", res.Updates)
+	}
+}
+
+func TestGenDeterministicPerPacket(t *testing.T) {
+	s1, s2 := state.New(64), state.New(64)
+	g := NewGen(64, 1)
+	p := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(8, 8, 8, 8), 1, 2)
+	process(t, g, s1, p)
+	p2 := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(8, 8, 8, 8), 1, 2)
+	process(t, g, s2, p2)
+	v1, _ := s1.Get("gen-0")
+	v2, _ := s2.Get("gen-0")
+	if string(v1) != string(v2) {
+		t.Fatal("Gen output not deterministic")
+	}
+}
+
+func TestFirewallRules(t *testing.T) {
+	fw := NewFirewall([]Rule{
+		{Proto: wire.ProtoUDP, DstPort: 53, Allow: false},
+		{SrcNet: wire.Addr4(10, 0, 0, 0), SrcBits: 8, Allow: true},
+	}, false)
+	s := state.New(4)
+
+	dns := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(8, 8, 8, 8), 1000, 53)
+	if v := process(t, fw, s, dns); v != core.Drop {
+		t.Fatal("DNS should be blocked by rule 1")
+	}
+	web := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(8, 8, 8, 8), 1000, 80)
+	if v := process(t, fw, s, web); v != core.Forward {
+		t.Fatal("internal web traffic should be allowed by rule 2")
+	}
+	ext := udpPacket(t, wire.Addr4(172, 16, 0, 1), wire.Addr4(8, 8, 8, 8), 1000, 80)
+	if v := process(t, fw, s, ext); v != core.Drop {
+		t.Fatal("default deny should drop unmatched traffic")
+	}
+	if s.Len() != 0 {
+		t.Fatal("stateless firewall wrote state")
+	}
+}
+
+func TestFirewallDefaultAllow(t *testing.T) {
+	fw := NewFirewall(nil, true)
+	s := state.New(4)
+	p := udpPacket(t, wire.Addr4(1, 1, 1, 1), wire.Addr4(2, 2, 2, 2), 1, 2)
+	if v := process(t, fw, s, p); v != core.Forward {
+		t.Fatal("default allow should forward")
+	}
+}
+
+func TestRuleWildcards(t *testing.T) {
+	r := Rule{} // all wildcards
+	if !r.Match(wire.FiveTuple{Proto: wire.ProtoTCP}) {
+		t.Fatal("wildcard rule should match anything")
+	}
+	r = Rule{DstNet: wire.Addr4(192, 168, 0, 0), DstBits: 16}
+	if !r.Match(wire.FiveTuple{Dst: wire.Addr4(192, 168, 55, 1)}) {
+		t.Fatal("prefix match failed")
+	}
+	if r.Match(wire.FiveTuple{Dst: wire.Addr4(192, 169, 0, 1)}) {
+		t.Fatal("prefix match too broad")
+	}
+}
+
+func TestMiddleboxNames(t *testing.T) {
+	if NewMonitor(8, 8).Name() != "Monitor(share=8)" {
+		t.Fatal("monitor name")
+	}
+	if NewGen(64, 1).Name() != "Gen(state=64B)" {
+		t.Fatal("gen name")
+	}
+	if NewSimpleNAT(wire.Addr4(1, 1, 1, 1), 1, 1).Name() != "SimpleNAT" {
+		t.Fatal("nat name")
+	}
+}

@@ -1,0 +1,266 @@
+// Package metrics provides the measurement primitives used by the FTC
+// benchmarks and traffic generator: log-bucketed latency histograms with
+// percentile/CDF queries, monotonic rate counters, and simple running
+// statistics. Everything is safe for concurrent use unless noted.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram is a log-linear latency histogram in the spirit of HdrHistogram.
+// Values are recorded in nanoseconds. Buckets grow geometrically so the
+// histogram covers nanoseconds through minutes with bounded relative error,
+// using a fixed number of buckets.
+//
+// The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	counts  []uint64
+	total   uint64
+	sum     float64
+	min     int64
+	max     int64
+	base    float64 // bucket growth factor
+	logBase float64
+}
+
+// subBuckets controls resolution: each power-of-two range is split into this
+// many linear sub-buckets, giving ~1.4% relative error.
+const histBuckets = 64 * 48 // 48 doublings of 64 sub-buckets: covers >2^48 ns
+
+// NewHistogram returns an empty histogram ready for concurrent Record calls.
+func NewHistogram() *Histogram {
+	h := &Histogram{
+		counts: make([]uint64, histBuckets),
+		min:    math.MaxInt64,
+		max:    0,
+	}
+	h.base = math.Pow(2, 1.0/64)
+	h.logBase = math.Log(h.base)
+	return h
+}
+
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	idx := int(math.Log(float64(v)) / h.logBase)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+func (h *Histogram) bucketValue(idx int) int64 {
+	return int64(math.Pow(h.base, float64(idx)+0.5))
+}
+
+// Record adds a single latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	v := d.Nanoseconds()
+	h.mu.Lock()
+	h.counts[h.bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean reports the mean observation, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min reports the smallest observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Quantile reports the latency at quantile q in [0,1]. Quantile(0.5) is the
+// median. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := h.bucketValue(i)
+			if int64(v) < h.min {
+				v = h.min
+			}
+			if v > h.max && h.max > 0 {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// CDFPoint is one point of a cumulative distribution: fraction of
+// observations at or below Value.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution across all non-empty buckets,
+// suitable for plotting Figure 11-style curves.
+func (h *Histogram) CDF() []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		pts = append(pts, CDFPoint{
+			Value:    time.Duration(h.bucketValue(i)),
+			Fraction: float64(cum) / float64(h.total),
+		})
+	}
+	return pts
+}
+
+// Merge adds all observations from other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	counts := make([]uint64, len(other.counts))
+	copy(counts, other.counts)
+	total, sum, min, max := other.total, other.sum, other.min, other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.total += total
+	h.sum += sum
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// String summarizes the distribution for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%v p50=%v p99=%v max=%v mean=%v",
+		h.Count(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max(), h.Mean())
+}
+
+// Summary holds a snapshot of the usual latency percentiles.
+type Summary struct {
+	Count                    uint64
+	Min, Mean, Max           time.Duration
+	P50, P90, P95, P99, P999 time.Duration
+}
+
+// Summarize captures the standard percentile snapshot.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
+// Percentiles computes exact percentiles from a raw sample slice; used by
+// tests to validate the histogram's bucketed approximations.
+func Percentiles(samples []time.Duration, qs ...float64) []time.Duration {
+	if len(samples) == 0 {
+		return make([]time.Duration, len(qs))
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
+	}
+	return out
+}

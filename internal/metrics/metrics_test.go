@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 {
+		t.Fatalf("empty count = %d", h.Count())
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram should report zeros: mean=%v min=%v p50=%v", h.Mean(), h.Min(), h.Quantile(0.5))
+	}
+	if h.CDF() != nil {
+		t.Fatalf("empty CDF should be nil")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Min(); got != 100*time.Microsecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Microsecond {
+		t.Fatalf("max = %v", got)
+	}
+	// Quantile is bucketed; allow 2% relative error.
+	got := h.Quantile(0.5)
+	if relErr(got, 100*time.Microsecond) > 0.02 {
+		t.Fatalf("p50 = %v, want ~100µs", got)
+	}
+}
+
+func relErr(got, want time.Duration) float64 {
+	d := float64(got - want)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(want)
+}
+
+func TestHistogramQuantilesAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var raw []time.Duration
+	for i := 0; i < 20000; i++ {
+		// Log-uniform between 1µs and 10ms — typical packet latencies.
+		v := time.Duration(float64(time.Microsecond) * (1 + rng.Float64()*9999))
+		raw = append(raw, v)
+		h.Record(v)
+	}
+	qs := []float64{0.5, 0.9, 0.99}
+	exact := Percentiles(raw, qs...)
+	for i, q := range qs {
+		got := h.Quantile(q)
+		if relErr(got, exact[i]) > 0.05 {
+			t.Errorf("q=%v: histogram=%v exact=%v (err %.3f)", q, got, exact[i], relErr(got, exact[i]))
+		}
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Int63n(int64(time.Millisecond))) + time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%.2f: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	last := cdf[len(cdf)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("CDF should end at 1.0, got %v", last.Fraction)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatalf("CDF fraction not monotone at %d", i)
+		}
+		if cdf[i].Value <= cdf[i-1].Value {
+			t.Fatalf("CDF values not increasing at %d", i)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(10 * time.Microsecond)
+	b.Record(20 * time.Microsecond)
+	b.Record(30 * time.Microsecond)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 10*time.Microsecond || a.Max() != 30*time.Microsecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatalf("reset failed: %v", h)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Millisecond))) + 1)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	h := NewHistogram()
+	h.Record(time.Microsecond)
+	if h.Quantile(-1) == 0 || h.Quantile(2) == 0 {
+		t.Fatal("out-of-range quantiles should clamp, not return zero")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 >= s.P99 {
+		t.Fatalf("p50 %v should be < p99 %v", s.P50, s.P99)
+	}
+	if s.Min > s.P50 || s.P999 > s.Max+s.Max/50 {
+		t.Fatalf("percentiles out of range: %+v", s)
+	}
+}
+
+func TestPercentilesExact(t *testing.T) {
+	samples := []time.Duration{5, 1, 3, 2, 4}
+	got := Percentiles(samples, 0.2, 0.5, 1.0)
+	want := []time.Duration{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if v := Percentiles(nil, 0.5); v[0] != 0 {
+		t.Fatalf("empty percentile should be 0, got %v", v[0])
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 80000 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestRateSampler(t *testing.T) {
+	var c Counter
+	s := NewRateSampler(&c)
+	c.Add(1000)
+	time.Sleep(10 * time.Millisecond)
+	r := s.Sample()
+	if r <= 0 {
+		t.Fatalf("rate = %v, want > 0", r)
+	}
+	if s.Max() < s.Mean() {
+		t.Fatalf("max %v < mean %v", s.Max(), s.Mean())
+	}
+	if len(s.Samples()) != 1 {
+		t.Fatalf("samples = %d", len(s.Samples()))
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	if g.Add(-3) != 7 || g.Value() != 7 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}

@@ -1,0 +1,284 @@
+// Package netsim provides the simulated network substrate the FTC
+// reproduction runs on: servers (nodes) with multi-queue NIC-style ingress,
+// links with configurable latency, jitter, bandwidth, loss, and reordering,
+// a control-plane RPC layer, and crash-stop fault injection.
+//
+// The paper's testbed is a rack of DPDK servers; this fabric replaces it
+// while exercising the identical protocol code paths. Frames are raw byte
+// slices; delivery copies them so each node owns its buffers, like a real
+// NIC ring. Links with zero latency and unlimited bandwidth take a direct
+// enqueue fast path so throughput benchmarks measure protocol cost rather
+// than timer overhead.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID names a simulated server.
+type NodeID string
+
+// Errors returned by fabric operations.
+var (
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	ErrNodeCrashed = errors.New("netsim: node crashed")
+	ErrFabricDown  = errors.New("netsim: fabric stopped")
+)
+
+// LinkProfile describes the behaviour of a directional link.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per frame.
+	Jitter time.Duration
+	// LossRate drops this fraction of frames (0..1).
+	LossRate float64
+	// ReorderRate delays this fraction of frames by an extra 2× latency,
+	// causing reordering relative to later frames.
+	ReorderRate float64
+	// BandwidthBps, if non-zero, serializes frames at this bit rate.
+	BandwidthBps int64
+	// MTU, if non-zero, drops frames larger than this many bytes — the
+	// constraint that makes jumbo frames necessary for FTC chains carrying
+	// large piggybacked state (§7.2).
+	MTU int
+	// Down simulates a network partition: all frames dropped.
+	Down bool
+}
+
+func (p LinkProfile) needsScheduling() bool {
+	return p.Latency > 0 || p.Jitter > 0 || p.ReorderRate > 0 || p.BandwidthBps > 0
+}
+
+type linkKey struct{ src, dst NodeID }
+
+type link struct {
+	mu       sync.Mutex
+	profile  LinkProfile
+	rng      *rand.Rand
+	nextFree time.Time // bandwidth serialization clock
+}
+
+// Config configures a Fabric.
+type Config struct {
+	// Seed seeds the per-link randomness (loss, jitter, reorder).
+	Seed int64
+	// DefaultLink applies to node pairs without an explicit SetLink.
+	DefaultLink LinkProfile
+}
+
+// Fabric connects nodes. All methods are safe for concurrent use.
+type Fabric struct {
+	mu      sync.RWMutex
+	cfg     Config
+	nodes   map[NodeID]*Node
+	links   map[linkKey]*link
+	stopped bool
+	seedCtr int64
+
+	// Stats
+	sent, delivered, dropped, lost Counter64
+}
+
+// Counter64 is a tiny atomic counter used for fabric statistics.
+type Counter64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (c *Counter64) inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+// Value reports the current count.
+func (c *Counter64) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// New creates an empty fabric.
+func New(cfg Config) *Fabric {
+	return &Fabric{
+		cfg:   cfg,
+		nodes: make(map[NodeID]*Node),
+		links: make(map[linkKey]*link),
+	}
+}
+
+// Stats reports cumulative fabric counters: frames sent, delivered, dropped
+// at full queues, and lost on lossy/partitioned links.
+func (f *Fabric) Stats() (sent, delivered, dropped, lost uint64) {
+	return f.sent.Value(), f.delivered.Value(), f.dropped.Value(), f.lost.Value()
+}
+
+// AddNode registers a new node. Panics if the id already exists — topology
+// construction bugs should fail fast.
+func (f *Fabric) AddNode(id NodeID, cfg NodeConfig) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id]; ok {
+		panic(fmt.Sprintf("netsim: duplicate node %q", id))
+	}
+	n := newNode(id, f, cfg)
+	f.nodes[id] = n
+	return n
+}
+
+// RemoveNode deletes a node (e.g., after a crash has been handled). Frames
+// in flight to it are dropped.
+func (f *Fabric) RemoveNode(id NodeID) {
+	f.mu.Lock()
+	n := f.nodes[id]
+	delete(f.nodes, id)
+	f.mu.Unlock()
+	if n != nil {
+		n.Crash()
+	}
+}
+
+// Node returns the named node, or nil.
+func (f *Fabric) Node(id NodeID) *Node {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.nodes[id]
+}
+
+// SetLink sets the profile of the directional link src→dst.
+func (f *Fabric) SetLink(src, dst NodeID, p LinkProfile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seedCtr++
+	f.links[linkKey{src, dst}] = &link{
+		profile: p,
+		rng:     rand.New(rand.NewSource(f.cfg.Seed + f.seedCtr)),
+	}
+}
+
+// SetLinkBoth sets the profile in both directions.
+func (f *Fabric) SetLinkBoth(a, b NodeID, p LinkProfile) {
+	f.SetLink(a, b, p)
+	f.SetLink(b, a, p)
+}
+
+func (f *Fabric) getLink(src, dst NodeID) *link {
+	f.mu.RLock()
+	l := f.links[linkKey{src, dst}]
+	f.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	// Lazily materialize the default link so it gets its own rng/clock.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if l = f.links[linkKey{src, dst}]; l != nil {
+		return l
+	}
+	f.seedCtr++
+	l = &link{
+		profile: f.cfg.DefaultLink,
+		rng:     rand.New(rand.NewSource(f.cfg.Seed + f.seedCtr)),
+	}
+	f.links[linkKey{src, dst}] = l
+	return l
+}
+
+// Send transmits frame from src to dst, applying the link profile. The frame
+// is copied; the caller keeps ownership of its buffer. Like a real network,
+// Send does not report downstream loss: it returns an error only if the
+// destination is unknown or the fabric is stopped. Frames to crashed nodes
+// vanish (fail-stop).
+func (f *Fabric) Send(src, dst NodeID, frame []byte) error {
+	return f.send(src, dst, frame, false)
+}
+
+func (f *Fabric) send(src, dst NodeID, frame []byte, block bool) error {
+	f.mu.RLock()
+	stopped := f.stopped
+	n := f.nodes[dst]
+	f.mu.RUnlock()
+	if stopped {
+		return ErrFabricDown
+	}
+	if n == nil {
+		return ErrUnknownNode
+	}
+	f.sent.inc()
+	l := f.getLink(src, dst)
+
+	l.mu.Lock()
+	p := l.profile
+	if p.Down || (p.MTU > 0 && len(frame) > p.MTU) ||
+		(p.LossRate > 0 && l.rng.Float64() < p.LossRate) {
+		l.mu.Unlock()
+		f.lost.inc()
+		return nil
+	}
+	var delay time.Duration
+	if p.needsScheduling() {
+		delay = p.Latency
+		if p.Jitter > 0 {
+			delay += time.Duration(l.rng.Int63n(int64(p.Jitter)))
+		}
+		if p.ReorderRate > 0 && l.rng.Float64() < p.ReorderRate {
+			delay += 2 * p.Latency
+		}
+		if p.BandwidthBps > 0 {
+			now := time.Now()
+			txTime := time.Duration(float64(len(frame)*8) / float64(p.BandwidthBps) * float64(time.Second))
+			if l.nextFree.Before(now) {
+				l.nextFree = now
+			}
+			l.nextFree = l.nextFree.Add(txTime)
+			delay += l.nextFree.Sub(now)
+		}
+	}
+	l.mu.Unlock()
+
+	if delay <= 0 && !block && n.full(frame) {
+		// Fast-path tail drop before paying for the frame copy: an
+		// overloaded blast workload would otherwise spend most of one core
+		// copying frames that are immediately discarded.
+		f.dropped.inc()
+		return nil
+	}
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+
+	if delay <= 0 {
+		f.deliver(n, src, buf, block)
+		return nil
+	}
+	// Scheduled deliveries never block: a timer goroutine stalling on a
+	// full queue would reorder the link arbitrarily.
+	time.AfterFunc(delay, func() { f.deliver(n, src, buf, false) })
+	return nil
+}
+
+func (f *Fabric) deliver(n *Node, from NodeID, frame []byte, block bool) {
+	if n.enqueue(from, frame, block) {
+		f.delivered.inc()
+	} else {
+		f.dropped.inc()
+	}
+}
+
+// Stop shuts the fabric down: all sends fail and all nodes crash.
+func (f *Fabric) Stop() {
+	f.mu.Lock()
+	f.stopped = true
+	nodes := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.mu.Unlock()
+	for _, n := range nodes {
+		n.Crash()
+	}
+}

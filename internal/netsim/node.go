@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Inbound is a frame delivered to a node, tagged with its sender.
+type Inbound struct {
+	From  NodeID
+	Frame []byte
+}
+
+// QueueSelector maps an inbound frame to an ingress queue index, simulating
+// NIC receive-side scaling. It must return a value in [0, queues).
+type QueueSelector func(frame []byte, queues int) int
+
+// NodeConfig configures a node's simulated NIC.
+type NodeConfig struct {
+	// Queues is the number of ingress queues (default 1).
+	Queues int
+	// QueueCap is the per-queue capacity in frames (default 1024).
+	// Full queues tail-drop, like a NIC ring.
+	QueueCap int
+	// Selector picks the ingress queue per frame (default: queue 0).
+	Selector QueueSelector
+}
+
+// Node is a simulated server attached to the fabric.
+type Node struct {
+	id       NodeID
+	fabric   *Fabric
+	queues   []chan Inbound
+	selector QueueSelector
+	crashed  atomic.Bool
+	crashOn  sync.Once
+	crashCh  chan struct{} // closed on Crash; queues are never closed
+
+	rpcMu    sync.RWMutex
+	handlers map[string]RPCHandler
+}
+
+func newNode(id NodeID, f *Fabric, cfg NodeConfig) *Node {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	n := &Node{
+		id:       id,
+		fabric:   f,
+		queues:   make([]chan Inbound, cfg.Queues),
+		selector: cfg.Selector,
+		crashCh:  make(chan struct{}),
+		handlers: make(map[string]RPCHandler),
+	}
+	for i := range n.queues {
+		n.queues[i] = make(chan Inbound, cfg.QueueCap)
+	}
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// NumQueues reports the number of ingress queues.
+func (n *Node) NumQueues() int { return len(n.queues) }
+
+// full reports whether the queue the frame would select is at capacity.
+// Racy by design: it only biases overload toward cheap drops.
+func (n *Node) full(frame []byte) bool {
+	q := 0
+	if n.selector != nil && len(n.queues) > 1 {
+		q = n.selector(frame, len(n.queues))
+		if q < 0 || q >= len(n.queues) {
+			q = 0
+		}
+	}
+	return len(n.queues[q]) >= cap(n.queues[q])
+}
+
+// enqueue delivers a frame into the appropriate ingress queue. Without
+// block it reports false when the node is crashed or the queue is full
+// (tail drop); with block it waits for space, modelling link-level flow
+// control, and fails only if the node crashes.
+func (n *Node) enqueue(from NodeID, frame []byte, block bool) bool {
+	if n.crashed.Load() {
+		return false
+	}
+	q := 0
+	if n.selector != nil && len(n.queues) > 1 {
+		q = n.selector(frame, len(n.queues))
+		if q < 0 || q >= len(n.queues) {
+			q = 0
+		}
+	}
+	in := Inbound{From: from, Frame: frame}
+	if block {
+		select {
+		case n.queues[q] <- in:
+			return true
+		case <-n.crashCh:
+			return false
+		}
+	}
+	select {
+	case n.queues[q] <- in:
+		return true
+	case <-n.crashCh:
+		return false
+	default:
+		return false
+	}
+}
+
+// Recv blocks until a frame arrives on queue q or the node crashes.
+// ok is false once the node has crashed (undelivered frames are lost with
+// it, like a powered-off server's RX ring).
+func (n *Node) Recv(q int) (in Inbound, ok bool) {
+	select {
+	case in = <-n.queues[q]:
+		return in, true
+	case <-n.crashCh:
+		return Inbound{}, false
+	}
+}
+
+// TryRecv receives without blocking.
+func (n *Node) TryRecv(q int) (in Inbound, ok bool) {
+	if n.crashed.Load() {
+		return Inbound{}, false
+	}
+	select {
+	case in = <-n.queues[q]:
+		return in, true
+	default:
+		return Inbound{}, false
+	}
+}
+
+// QueueLen reports the current depth of queue q.
+func (n *Node) QueueLen(q int) int { return len(n.queues[q]) }
+
+// Send transmits a frame from this node (tail-drop on a full destination).
+func (n *Node) Send(dst NodeID, frame []byte) error {
+	if n.crashed.Load() {
+		return ErrNodeCrashed
+	}
+	return n.fabric.send(n.id, dst, frame, false)
+}
+
+// SendBlocking transmits a frame, waiting for queue space at the
+// destination on zero-latency links (link-level flow control between
+// pipeline stages). On links with latency or bandwidth shaping, delivery is
+// scheduled and the call does not block.
+func (n *Node) SendBlocking(dst NodeID, frame []byte) error {
+	if n.crashed.Load() {
+		return ErrNodeCrashed
+	}
+	return n.fabric.send(n.id, dst, frame, true)
+}
+
+// Crash fail-stops the node: receivers and blocked senders unblock, pending
+// RPCs fail, and all future traffic to or from the node is dropped. Crash
+// is idempotent.
+func (n *Node) Crash() {
+	n.crashed.Store(true)
+	n.crashOn.Do(func() { close(n.crashCh) })
+}
+
+// Crashed reports whether the node has fail-stopped.
+func (n *Node) Crashed() bool { return n.crashed.Load() }

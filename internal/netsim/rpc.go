@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RPCHandler serves a control-plane request on a node.
+type RPCHandler func(from NodeID, req []byte) ([]byte, error)
+
+// Errors returned by the RPC layer.
+var (
+	ErrNoHandler  = errors.New("netsim: no such RPC handler")
+	ErrRPCTimeout = errors.New("netsim: rpc timeout")
+)
+
+// RegisterRPC installs a named control-plane handler on the node, replacing
+// any existing handler of that name. Handlers run on the caller's goroutine
+// after the simulated one-way link latency.
+func (n *Node) RegisterRPC(name string, h RPCHandler) {
+	n.rpcMu.Lock()
+	defer n.rpcMu.Unlock()
+	n.handlers[name] = h
+}
+
+// LookupRPC returns the named handler, if registered. Transport bridges use
+// it to dispatch control calls arriving from outside the fabric.
+func (n *Node) LookupRPC(name string) (RPCHandler, bool) {
+	n.rpcMu.RLock()
+	defer n.rpcMu.RUnlock()
+	h, ok := n.handlers[name]
+	return h, ok
+}
+
+// Call performs a synchronous control-plane RPC from src to dst. It models
+// the paper's TCP control connections: the request and response each incur
+// the link's one-way latency, and calls to crashed nodes fail. The context
+// bounds the total call time.
+func (f *Fabric) Call(ctx context.Context, src, dst NodeID, name string, req []byte) ([]byte, error) {
+	f.mu.RLock()
+	stopped := f.stopped
+	n := f.nodes[dst]
+	f.mu.RUnlock()
+	if stopped {
+		return nil, ErrFabricDown
+	}
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, dst)
+	}
+
+	type result struct {
+		resp []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		// Request propagation delay.
+		if err := f.linkWait(ctx, src, dst); err != nil {
+			ch <- result{nil, err}
+			return
+		}
+		if n.Crashed() {
+			ch <- result{nil, fmt.Errorf("%w: %s", ErrNodeCrashed, dst)}
+			return
+		}
+		h, ok := n.LookupRPC(name)
+		if !ok {
+			ch <- result{nil, fmt.Errorf("%w: %s on %s", ErrNoHandler, name, dst)}
+			return
+		}
+		resp, err := h(src, req)
+		if n.Crashed() {
+			// The node died while serving; the response never makes it out.
+			ch <- result{nil, fmt.Errorf("%w: %s", ErrNodeCrashed, dst)}
+			return
+		}
+		// Response propagation delay.
+		if werr := f.linkWait(ctx, dst, src); werr != nil {
+			ch <- result{nil, werr}
+			return
+		}
+		ch <- result{resp, err}
+	}()
+
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %s.%s", ErrRPCTimeout, dst, name)
+	}
+}
+
+// linkWait sleeps for the one-way latency of the src→dst link, honouring
+// partitions and context cancellation.
+func (f *Fabric) linkWait(ctx context.Context, src, dst NodeID) error {
+	l := f.getLink(src, dst)
+	l.mu.Lock()
+	p := l.profile
+	l.mu.Unlock()
+	if p.Down {
+		return fmt.Errorf("netsim: link %s->%s down", src, dst)
+	}
+	if p.Latency <= 0 {
+		return nil
+	}
+	t := time.NewTimer(p.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

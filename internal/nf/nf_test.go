@@ -1,0 +1,111 @@
+package nf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/mbox"
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+func TestNFChainEndToEnd(t *testing.T) {
+	f := netsim.New(netsim.Config{})
+	defer f.Stop()
+	gen := f.AddNode("gen", netsim.NodeConfig{QueueCap: 8192})
+	sink := f.AddNode("sink", netsim.NodeConfig{QueueCap: 8192})
+	mbs := []core.Middlebox{mbox.NewMonitor(1, 2), mbox.NewMonitor(1, 2), mbox.NewMonitor(1, 2)}
+	c := NewChain(Config{Workers: 2}, f, "t", mbs, "sink")
+	c.Start()
+	defer c.Stop()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		p, err := wire.BuildUDP(wire.UDPSpec{
+			SrcMAC: wire.MAC{2, 0, 0, 0, 0, 1}, DstMAC: wire.MAC{2, 0, 0, 0, 0, 2},
+			Src: wire.Addr4(10, 0, 0, byte(i)), Dst: wire.Addr4(192, 0, 2, 1),
+			SrcPort: uint16(1024 + i), DstPort: 80,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Send(c.IngressID(), p.Buf)
+	}
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < n {
+		select {
+		case <-deadline:
+			t.Fatalf("got %d of %d", got, n)
+		default:
+		}
+		if _, ok := sink.TryRecv(0); ok {
+			got++
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		var total uint64
+		for g := 0; g < 2; g++ {
+			if v, ok := c.Store(i).Get(fmt.Sprintf("pkt-count-%d", g)); ok {
+				total += binary.BigEndian.Uint64(v)
+			}
+		}
+		if total != n {
+			t.Fatalf("node %d counted %d", i, total)
+		}
+		p, d, e := c.Node(i).Counts()
+		if p != n || d != 0 || e != 0 {
+			t.Fatalf("node %d counts = %d %d %d", i, p, d, e)
+		}
+	}
+}
+
+func TestNFDropsFilteredPackets(t *testing.T) {
+	f := netsim.New(netsim.Config{})
+	defer f.Stop()
+	gen := f.AddNode("gen", netsim.NodeConfig{})
+	sink := f.AddNode("sink", netsim.NodeConfig{})
+	fw := mbox.NewFirewall([]mbox.Rule{{DstPort: 53, Allow: false}}, true)
+	c := NewChain(Config{}, f, "t", []core.Middlebox{fw}, "sink")
+	c.Start()
+	defer c.Stop()
+
+	mk := func(dport uint16) []byte {
+		p, _ := wire.BuildUDP(wire.UDPSpec{
+			SrcMAC: wire.MAC{2, 0, 0, 0, 0, 1}, DstMAC: wire.MAC{2, 0, 0, 0, 0, 2},
+			Src: wire.Addr4(10, 0, 0, 1), Dst: wire.Addr4(8, 8, 8, 8),
+			SrcPort: 999, DstPort: dport,
+		})
+		return p.Buf
+	}
+	gen.Send(c.IngressID(), mk(53))
+	gen.Send(c.IngressID(), mk(80))
+	var got []uint16
+	deadline := time.After(5 * time.Second)
+	for len(got) < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("no packet egressed")
+		default:
+		}
+		if in, ok := sink.TryRecv(0); ok {
+			p, _ := wire.Parse(in.Frame)
+			got = append(got, p.UDP.DstPort)
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if got[0] != 80 {
+		t.Fatalf("egress dport = %d", got[0])
+	}
+	time.Sleep(10 * time.Millisecond)
+	_, dropped, _ := c.Node(0).Counts()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+}

@@ -1,0 +1,243 @@
+// Package orch implements FTC's centralized orchestrator (§3.2, §5.2): it
+// deploys fault-tolerant chains, reliably monitors replicas with
+// heartbeats, detects fail-stop failures, and drives the three-step
+// recovery — spawn a replacement, recover state from alive group members,
+// and reroute traffic. In the paper the orchestrator is an ONOS SDN
+// controller; here it is a fabric node issuing the same control-plane
+// actions, and like the paper's it stays entirely off the data path.
+package orch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/netsim"
+)
+
+// Config tunes failure detection.
+type Config struct {
+	// HeartbeatEvery is the ping period per replica.
+	HeartbeatEvery time.Duration
+	// HeartbeatTimeout is the per-ping timeout.
+	HeartbeatTimeout time.Duration
+	// Misses is how many consecutive missed heartbeats declare a failure.
+	Misses int
+	// RecoveryTimeout bounds one full recovery.
+	RecoveryTimeout time.Duration
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 20 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = c.HeartbeatEvery
+	}
+	if c.Misses <= 0 {
+		c.Misses = 3
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// RecoveryReport records the timing of one replica recovery, matching the
+// breakdown of Figure 13: initialization (spawning the replacement and
+// informing it about the alive replicas), state recovery (fetching state
+// from remote group members), and rerouting.
+type RecoveryReport struct {
+	RingIndex  int
+	Middlebox  string
+	DetectedAt time.Time
+	Init       time.Duration
+	StateFetch time.Duration
+	Reroute    time.Duration
+	Total      time.Duration
+	Err        error
+}
+
+// Orchestrator monitors one FTC chain and repairs it on failure.
+type Orchestrator struct {
+	cfg    Config
+	fabric *netsim.Fabric
+	node   *netsim.Node
+	chain  *core.Chain
+
+	mu       sync.Mutex
+	reports  []RecoveryReport
+	handling map[int]bool
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	// OnRecovery, if set, is called after each recovery attempt.
+	OnRecovery func(RecoveryReport)
+}
+
+// New creates an orchestrator on its own fabric node.
+func New(cfg Config, fabric *netsim.Fabric, id netsim.NodeID, chain *core.Chain) *Orchestrator {
+	return &Orchestrator{
+		cfg:      cfg.WithDefaults(),
+		fabric:   fabric,
+		node:     fabric.AddNode(id, netsim.NodeConfig{}),
+		chain:    chain,
+		handling: make(map[int]bool),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// NodeID returns the orchestrator's fabric node id.
+func (o *Orchestrator) NodeID() netsim.NodeID { return o.node.ID() }
+
+// Start launches the failure detector: one heartbeat loop per ring
+// position.
+func (o *Orchestrator) Start() {
+	for i := 0; i < o.chain.Len(); i++ {
+		o.wg.Add(1)
+		go o.monitor(i)
+	}
+}
+
+// Stop terminates monitoring.
+func (o *Orchestrator) Stop() {
+	o.stopOnce.Do(func() { close(o.stopped) })
+	o.wg.Wait()
+}
+
+// Reports returns the recovery reports so far.
+func (o *Orchestrator) Reports() []RecoveryReport {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]RecoveryReport(nil), o.reports...)
+}
+
+func (o *Orchestrator) monitor(idx int) {
+	defer o.wg.Done()
+	t := time.NewTicker(o.cfg.HeartbeatEvery)
+	defer t.Stop()
+	misses := 0
+	for {
+		select {
+		case <-o.stopped:
+			return
+		case <-t.C:
+		}
+		target := o.chain.RingID(idx)
+		if core.Ping(context.Background(), o.fabric, o.node.ID(), target, o.cfg.HeartbeatTimeout) {
+			misses = 0
+			continue
+		}
+		misses++
+		if misses < o.cfg.Misses {
+			continue
+		}
+		misses = 0
+		o.recover(idx)
+	}
+}
+
+// Recover runs the three-step §5.2 recovery for ring position idx and
+// records a timing report. If the failure detector already started a
+// recovery for idx (they race when a failure is injected manually), Recover
+// waits for it and returns its report.
+func (o *Orchestrator) Recover(idx int) RecoveryReport {
+	for {
+		rep, raced := o.recover(idx)
+		if !raced {
+			return rep
+		}
+		// A detector-initiated recovery is running; wait for its report.
+		deadline := time.Now().Add(o.cfg.RecoveryTimeout)
+		for {
+			o.mu.Lock()
+			busy := o.handling[idx]
+			var last *RecoveryReport
+			for i := len(o.reports) - 1; i >= 0; i-- {
+				if o.reports[i].RingIndex == idx {
+					r := o.reports[i]
+					last = &r
+					break
+				}
+			}
+			o.mu.Unlock()
+			if !busy && last != nil {
+				return *last
+			}
+			if time.Now().After(deadline) {
+				return RecoveryReport{RingIndex: idx, Err: fmt.Errorf("orch: timed out waiting for concurrent recovery of %d", idx)}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// recover runs one recovery; raced reports that another recovery of idx is
+// already in flight (nothing was done).
+func (o *Orchestrator) recover(idx int) (rep0 RecoveryReport, raced bool) {
+	o.mu.Lock()
+	if o.handling[idx] {
+		o.mu.Unlock()
+		return RecoveryReport{}, true
+	}
+	o.handling[idx] = true
+	o.mu.Unlock()
+	defer func() {
+		o.mu.Lock()
+		o.handling[idx] = false
+		o.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.cfg.RecoveryTimeout)
+	defer cancel()
+
+	rep := RecoveryReport{RingIndex: idx, DetectedAt: time.Now()}
+	t0 := time.Now()
+
+	// Step 1 — initialization: spawn the replacement in the failed
+	// replica's region and inform it of the replication groups it joins.
+	// The round trip to the new node models the orchestrator-to-region
+	// control latency that dominates this phase in the paper (§7.5).
+	nr := o.chain.Spawn(idx)
+	// The spawn handshake: one control round trip to the new replica's
+	// region. Its control daemon registers at Start, so before that the
+	// ping fails fast after paying the link latency — which is the
+	// region-distance cost this phase measures.
+	_ = core.Ping(ctx, o.fabric, o.node.ID(), nr.SimID(), o.cfg.RecoveryTimeout)
+	rep.Init = time.Since(t0)
+
+	// Step 2 — state recovery from alive group members.
+	t1 := time.Now()
+	if err := o.chain.RecoverState(ctx, nr); err != nil {
+		rep.Err = err
+		o.chain.Abort(nr)
+		o.record(rep)
+		return rep, false
+	}
+	rep.StateFetch = time.Since(t1)
+
+	// Step 3 — reroute traffic through the new replica.
+	t2 := time.Now()
+	o.chain.Adopt(nr)
+	rep.Reroute = time.Since(t2)
+	rep.Total = time.Since(t0)
+	if h := nr.Head(); h != nil {
+		rep.Middlebox = fmt.Sprintf("mb%d", h.MB())
+	}
+	o.record(rep)
+	return rep, false
+}
+
+func (o *Orchestrator) record(rep RecoveryReport) {
+	o.mu.Lock()
+	o.reports = append(o.reports, rep)
+	o.mu.Unlock()
+	if o.OnRecovery != nil {
+		o.OnRecovery(rep)
+	}
+}

@@ -1,0 +1,301 @@
+package state
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// OCCStore is an optimistic-concurrency alternative to the locking Store:
+// transactions execute without locks against versioned data, then validate
+// their read set and install their writes atomically at commit (TL2-style).
+// Conflicting transactions abort and re-execute.
+//
+// The paper notes its transactional packet-processing model "is easily
+// adaptable to hybrid transactional memory" (§3.2); OCCStore is the
+// software analogue of that adaptation — the commit-time validate+install
+// step is exactly what an HTM region would replace. It implements the same
+// Backend interface as Store, so middleboxes and the FTC replication roles
+// run on either engine unchanged.
+//
+// OCC shines on read-heavy, low-contention workloads (no lock traffic on
+// reads); under write contention it wastes re-executions where wound-wait
+// 2PL would serialize. The A5 ablation quantifies the trade.
+type OCCStore struct {
+	parts []occPartition
+}
+
+// ErrConflict aborts an optimistic transaction whose read set changed
+// before commit; Exec retries automatically.
+var ErrConflict = errors.New("state: optimistic conflict")
+
+type occEntry struct {
+	val     []byte
+	version uint64
+}
+
+type occPartition struct {
+	mu   sync.Mutex
+	data map[string]occEntry
+	// version counts committed writes to the partition, letting read-only
+	// validation skip per-key checks when nothing changed.
+	version uint64
+}
+
+// NewOCC creates an optimistic store with n partitions (DefaultPartitions
+// if n <= 0).
+func NewOCC(n int) *OCCStore {
+	if n <= 0 {
+		n = DefaultPartitions
+	}
+	s := &OCCStore{parts: make([]occPartition, n)}
+	for i := range s.parts {
+		s.parts[i].data = make(map[string]occEntry)
+	}
+	return s
+}
+
+// NumPartitions reports the partition count.
+func (s *OCCStore) NumPartitions() int { return len(s.parts) }
+
+// PartitionOf maps a key to its partition (same mapping as Store).
+func (s *OCCStore) PartitionOf(key string) uint16 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return uint16(h.Sum32() % uint32(len(s.parts)))
+}
+
+// Get reads a key outside any transaction.
+func (s *OCCStore) Get(key string) ([]byte, bool) {
+	p := &s.parts[s.PartitionOf(key)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(e.val))
+	copy(out, e.val)
+	return out, true
+}
+
+// Len reports the total number of keys.
+func (s *OCCStore) Len() int {
+	n := 0
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		n += len(p.data)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Apply installs replicated updates directly (follower path).
+func (s *OCCStore) Apply(updates []Update) {
+	for _, u := range updates {
+		p := &s.parts[int(u.Partition)%len(s.parts)]
+		p.mu.Lock()
+		if u.Value == nil {
+			delete(p.data, u.Key)
+		} else {
+			v := make([]byte, len(u.Value))
+			copy(v, u.Value)
+			e := p.data[u.Key]
+			p.data[u.Key] = occEntry{val: v, version: e.version + 1}
+		}
+		p.version++
+		p.mu.Unlock()
+	}
+}
+
+// Snapshot captures the store contents for recovery transfer.
+func (s *OCCStore) Snapshot() []Update {
+	var out []Update
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		for k, e := range p.data {
+			val := make([]byte, len(e.val))
+			copy(val, e.val)
+			out = append(out, Update{Key: k, Value: val, Partition: uint16(i)})
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the store contents.
+func (s *OCCStore) Restore(updates []Update) {
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		p.data = make(map[string]occEntry)
+		p.mu.Unlock()
+	}
+	s.Apply(updates)
+}
+
+// occTxn is an in-flight optimistic transaction.
+type occTxn struct {
+	store *OCCStore
+	reads map[string]uint64 // key → version observed (0 = absent)
+	// writes buffered in program order, deduplicated by key.
+	writes   map[string]*Update
+	writeLog []*Update
+	touched  map[uint16]struct{}
+}
+
+func newOCCTxn(s *OCCStore) *occTxn {
+	return &occTxn{
+		store:   s,
+		reads:   make(map[string]uint64),
+		writes:  make(map[string]*Update),
+		touched: make(map[uint16]struct{}),
+	}
+}
+
+// Get implements Txn: an unlocked versioned read.
+func (t *occTxn) Get(key string) ([]byte, bool, error) {
+	pi := t.store.PartitionOf(key)
+	t.touched[pi] = struct{}{}
+	if w, ok := t.writes[key]; ok { // read-your-writes
+		if w.Value == nil {
+			return nil, false, nil
+		}
+		out := make([]byte, len(w.Value))
+		copy(out, w.Value)
+		return out, true, nil
+	}
+	p := &t.store.parts[pi]
+	p.mu.Lock()
+	e, ok := p.data[key]
+	p.mu.Unlock()
+	if !ok {
+		t.reads[key] = 0
+		return nil, false, nil
+	}
+	t.reads[key] = e.version
+	out := make([]byte, len(e.val))
+	copy(out, e.val)
+	return out, true, nil
+}
+
+// Put implements Txn: a buffered write.
+func (t *occTxn) Put(key string, val []byte) error {
+	pi := t.store.PartitionOf(key)
+	t.touched[pi] = struct{}{}
+	v := make([]byte, len(val))
+	copy(v, val)
+	if w, ok := t.writes[key]; ok {
+		w.Value = v
+		return nil
+	}
+	u := &Update{Key: key, Value: v, Partition: pi}
+	t.writes[key] = u
+	t.writeLog = append(t.writeLog, u)
+	return nil
+}
+
+// Delete implements Txn: a buffered deletion.
+func (t *occTxn) Delete(key string) error {
+	pi := t.store.PartitionOf(key)
+	t.touched[pi] = struct{}{}
+	if w, ok := t.writes[key]; ok {
+		w.Value = nil
+		return nil
+	}
+	u := &Update{Key: key, Value: nil, Partition: pi}
+	t.writes[key] = u
+	t.writeLog = append(t.writeLog, u)
+	return nil
+}
+
+// commit validates the read set and installs the writes while holding the
+// touched partitions' mutexes (ascending order — no deadlock), running the
+// hook at the serialization point.
+func (t *occTxn) commit(onCommit func(Result)) (Result, error) {
+	parts := make([]uint16, 0, len(t.touched))
+	for p := range t.touched {
+		parts = append(parts, p)
+	}
+	sortU16(parts)
+	for _, p := range parts {
+		t.store.parts[p].mu.Lock()
+	}
+	unlock := func() {
+		for i := len(parts) - 1; i >= 0; i-- {
+			t.store.parts[parts[i]].mu.Unlock()
+		}
+	}
+	// Validate: every read key must still be at the observed version.
+	for key, ver := range t.reads {
+		p := &t.store.parts[t.store.PartitionOf(key)]
+		e, ok := p.data[key]
+		cur := uint64(0)
+		if ok {
+			cur = e.version
+		}
+		if cur != ver {
+			unlock()
+			return Result{}, ErrConflict
+		}
+	}
+	res := Result{ReadOnly: len(t.writeLog) == 0, Touched: parts}
+	for _, u := range t.writeLog {
+		p := &t.store.parts[u.Partition]
+		if u.Value == nil {
+			delete(p.data, u.Key)
+		} else {
+			v := make([]byte, len(u.Value))
+			copy(v, u.Value)
+			e := p.data[u.Key]
+			p.data[u.Key] = occEntry{val: v, version: e.version + 1}
+		}
+		p.version++
+		res.Updates = append(res.Updates, *u)
+	}
+	if onCommit != nil {
+		onCommit(res)
+	}
+	unlock()
+	return res, nil
+}
+
+// Exec runs fn as an optimistic packet transaction, re-executing it on
+// conflicts until it commits or fn fails.
+func (s *OCCStore) Exec(fn func(tx Txn) error) (Result, error) {
+	return s.ExecWithHook(fn, nil)
+}
+
+// ExecWithHook is Exec with a commit hook at the serialization point.
+func (s *OCCStore) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error) {
+	retries := 0
+	for {
+		tx := newOCCTxn(s)
+		if err := fn(tx); err != nil {
+			if errors.Is(err, ErrConflict) {
+				retries++
+				continue
+			}
+			return Result{}, err
+		}
+		res, err := tx.commit(onCommit)
+		if errors.Is(err, ErrConflict) {
+			retries++
+			continue
+		}
+		res.Retries = retries
+		return res, err
+	}
+}
+
+// compile-time interface checks: both engines satisfy Backend.
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*OCCStore)(nil)
+	_ Txn     = (*lockTxn)(nil)
+	_ Txn     = (*occTxn)(nil)
+)

@@ -1,0 +1,304 @@
+package state
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestOCCGetPutBasic(t *testing.T) {
+	s := NewOCC(8)
+	res, err := s.Exec(func(tx Txn) error { return tx.Put("k", []byte("v")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadOnly || len(res.Updates) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("get = %q %v", v, ok)
+	}
+}
+
+func TestOCCReadYourWritesAndDelete(t *testing.T) {
+	s := NewOCC(8)
+	_, err := s.Exec(func(tx Txn) error {
+		if err := tx.Put("k", []byte("new")); err != nil {
+			return err
+		}
+		if v, ok, _ := tx.Get("k"); !ok || string(v) != "new" {
+			return errors.New("read-your-writes failed")
+		}
+		if err := tx.Delete("k"); err != nil {
+			return err
+		}
+		if _, ok, _ := tx.Get("k"); ok {
+			return errors.New("deleted key visible")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("delete not applied")
+	}
+}
+
+func TestOCCAbortNoEffects(t *testing.T) {
+	s := NewOCC(8)
+	_, err := s.Exec(func(tx Txn) error {
+		tx.Put("k", []byte("v"))
+		return ErrAbort
+	})
+	if !errors.Is(err, ErrAbort) {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+func TestOCCConflictDetection(t *testing.T) {
+	s := NewOCC(8)
+	s.Exec(func(tx Txn) error { return tx.Put("k", []byte{0}) })
+	// A transaction that reads k, then loses a race to a concurrent write,
+	// must retry and still commit exactly once (no lost update).
+	var retried bool
+	barrier := make(chan struct{})
+	go func() {
+		<-barrier
+		s.Exec(func(tx Txn) error { return tx.Put("k", []byte{99}) })
+		close(barrier)
+	}()
+	first := true
+	res, err := s.Exec(func(tx Txn) error {
+		v, _, err := tx.Get("k")
+		if err != nil {
+			return err
+		}
+		if first {
+			first = false
+			barrier <- struct{}{} // let the competing write commit
+			<-barrier
+		} else {
+			retried = true
+		}
+		return tx.Put("k", append(v[:0:0], v[0]+1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !retried || res.Retries == 0 {
+		t.Fatalf("expected a conflict retry (retries=%d)", res.Retries)
+	}
+	v, _ := s.Get("k")
+	if v[0] != 100 {
+		t.Fatalf("k = %d, want 100 (increment over the winning write)", v[0])
+	}
+}
+
+func TestOCCConcurrentCounterSerializable(t *testing.T) {
+	s := NewOCC(64)
+	const workers, iters = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_, err := s.Exec(func(tx Txn) error {
+					v, _, err := tx.Get("ctr")
+					if err != nil {
+						return err
+					}
+					var n uint64
+					if len(v) == 8 {
+						n = binary.BigEndian.Uint64(v)
+					}
+					var b [8]byte
+					binary.BigEndian.PutUint64(b[:], n+1)
+					return tx.Put("ctr", b[:])
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := s.Get("ctr")
+	if got := binary.BigEndian.Uint64(v); got != workers*iters {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*iters)
+	}
+}
+
+func TestOCCBankTransferInvariant(t *testing.T) {
+	s := NewOCC(64)
+	put := func(tx Txn, k string, v int64) error {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		return tx.Put(k, b[:])
+	}
+	get := func(tx Txn, k string) int64 {
+		v, ok, _ := tx.Get(k)
+		if !ok {
+			return 0
+		}
+		return int64(binary.BigEndian.Uint64(v))
+	}
+	s.Exec(func(tx Txn) error {
+		put(tx, "a", 1000)
+		return put(tx, "b", 1000)
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				src, dst := "a", "b"
+				if w%2 == 0 {
+					src, dst = dst, src
+				}
+				_, err := s.Exec(func(tx Txn) error {
+					sv, dv := get(tx, src), get(tx, dst)
+					if err := put(tx, src, sv-1); err != nil {
+						return err
+					}
+					return put(tx, dst, dv+1)
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	s.Exec(func(tx Txn) error {
+		total = get(tx, "a") + get(tx, "b")
+		return nil
+	})
+	if total != 2000 {
+		t.Fatalf("total = %d (serializability violated)", total)
+	}
+}
+
+func TestOCCSnapshotRestoreApply(t *testing.T) {
+	s := NewOCC(8)
+	s.Apply([]Update{{Key: "a", Value: []byte("1"), Partition: s.PartitionOf("a")}})
+	snap := s.Snapshot()
+	s2 := NewOCC(8)
+	s2.Restore(snap)
+	if v, ok := s2.Get("a"); !ok || string(v) != "1" {
+		t.Fatal("restore failed")
+	}
+	s2.Apply([]Update{{Key: "a", Value: nil, Partition: s2.PartitionOf("a")}})
+	if _, ok := s2.Get("a"); ok {
+		t.Fatal("apply delete failed")
+	}
+	if s2.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestOCCPartitioningMatchesLockingStore(t *testing.T) {
+	a, b := New(32), NewOCC(32)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.PartitionOf(k) != b.PartitionOf(k) {
+			t.Fatal("engines disagree on partitioning — replication would break")
+		}
+	}
+}
+
+func TestOCCReadOnlyNoVersionBump(t *testing.T) {
+	s := NewOCC(8)
+	s.Exec(func(tx Txn) error { return tx.Put("k", []byte("v")) })
+	res, err := s.Exec(func(tx Txn) error {
+		_, _, err := tx.Get("k")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReadOnly || len(res.Touched) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// Property: both engines produce identical final state for the same
+// sequential operation list.
+func TestQuickEnginesAgree(t *testing.T) {
+	type op struct {
+		Key byte
+		Val []byte
+		Del bool
+	}
+	f := func(ops []op) bool {
+		lock, occ := New(16), NewOCC(16)
+		for _, o := range ops {
+			k := fmt.Sprintf("k%d", o.Key%8)
+			apply := func(b Backend) error {
+				_, err := b.Exec(func(tx Txn) error {
+					if o.Del {
+						return tx.Delete(k)
+					}
+					return tx.Put(k, o.Val)
+				})
+				return err
+			}
+			if apply(lock) != nil || apply(occ) != nil {
+				return false
+			}
+		}
+		if lock.Len() != occ.Len() {
+			return false
+		}
+		for _, u := range lock.Snapshot() {
+			v, ok := occ.Get(u.Key)
+			if !ok || !bytes.Equal(v, u.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOCCReadMostly(b *testing.B) {
+	s := NewOCC(64)
+	s.Exec(func(tx Txn) error { return tx.Put("flow", []byte("v")) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Exec(func(tx Txn) error {
+			_, _, err := tx.Get("flow")
+			return err
+		})
+	}
+}
+
+func BenchmarkOCCContendedWrites(b *testing.B) {
+	s := NewOCC(64)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s.Exec(func(tx Txn) error {
+				v, _, err := tx.Get("shared")
+				if err != nil {
+					return err
+				}
+				return tx.Put("shared", append(v[:0:0], 'x'))
+			})
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package state implements FTC's middlebox state layer (§4.2 of the paper):
+// a partitioned key-value store accessed through packet transactions.
+// Transactions use software transactional memory with fine-grained strict
+// two-phase locking over state partitions and a wound-wait scheme to avoid
+// deadlocks when lock ordering is not known in advance. Aborted (wounded)
+// transactions are immediately re-executed by Exec.
+//
+// State is partitioned by key hash; the partitioning is identical on every
+// replica so that dependency vectors computed at the head are meaningful at
+// followers. The number of partitions should exceed the maximum number of
+// CPU cores to keep contention low (§4.2); the default is 64.
+package state
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPartitions is the default state-partition count.
+const DefaultPartitions = 64
+
+// Errors returned by the transaction layer.
+var (
+	// ErrWounded aborts a transaction that lost a wound-wait conflict; Exec
+	// retries it automatically, so user code only sees it if it calls the
+	// txn API directly.
+	ErrWounded = errors.New("state: transaction wounded")
+	// ErrAbort lets transaction bodies abort voluntarily; Exec does not
+	// retry and reports the abort to the caller.
+	ErrAbort = errors.New("state: transaction aborted by caller")
+	// ErrTxnDone is returned by operations on a committed or aborted txn.
+	ErrTxnDone = errors.New("state: transaction finished")
+)
+
+// Txn is the state-access interface a packet transaction sees. Middlebox
+// code is written against it, so the same middlebox runs unmodified on any
+// concurrency engine — the pessimistic two-phase-locking Store, the
+// optimistic OCCStore, or a future hardware-transactional-memory backend
+// (the adaptability §3.2 of the paper calls out).
+type Txn interface {
+	// Get reads a key; the bool reports presence.
+	Get(key string) ([]byte, bool, error)
+	// Put buffers a write, visible at commit.
+	Put(key string, val []byte) error
+	// Delete buffers a deletion.
+	Delete(key string) error
+}
+
+// Backend is the store interface the FTC replication roles run against.
+// Both the locking Store and the optimistic OCCStore implement it.
+type Backend interface {
+	NumPartitions() int
+	PartitionOf(key string) uint16
+	Get(key string) ([]byte, bool)
+	Len() int
+	Apply(updates []Update)
+	Snapshot() []Update
+	Restore(updates []Update)
+	Exec(fn func(tx Txn) error) (Result, error)
+	ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error)
+}
+
+// Update is one state mutation produced by a committed transaction: the
+// unit that gets piggybacked and replicated. A nil Value means deletion.
+type Update struct {
+	Key       string
+	Value     []byte
+	Partition uint16
+}
+
+// partition holds one shard of the store.
+type partition struct {
+	lock plock // transaction-level wound-wait lock
+	mu   sync.Mutex
+	data map[string][]byte
+}
+
+// Store is a partitioned key-value store. A store instance holds the state
+// of one middlebox on one replica. The zero value is not usable; call New.
+type Store struct {
+	parts []partition
+	tsCtr atomic.Uint64
+}
+
+// New creates a store with n partitions (DefaultPartitions if n <= 0).
+func New(n int) *Store {
+	if n <= 0 {
+		n = DefaultPartitions
+	}
+	s := &Store{parts: make([]partition, n)}
+	for i := range s.parts {
+		s.parts[i].data = make(map[string][]byte)
+		s.parts[i].lock.init()
+	}
+	return s
+}
+
+// NumPartitions reports the partition count.
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+// PartitionOf maps a key to its partition index. All replicas of a
+// middlebox use the same mapping.
+func (s *Store) PartitionOf(key string) uint16 {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return uint16(h.Sum32() % uint32(len(s.parts)))
+}
+
+// Get reads a key outside any transaction. It is linearizable per key but
+// unordered with respect to running transactions; intended for tests,
+// recovery, and read-only inspection.
+func (s *Store) Get(key string) ([]byte, bool) {
+	p := &s.parts[s.PartitionOf(key)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Len reports the total number of keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		n += len(p.data)
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Apply installs replicated updates directly, bypassing the transaction
+// layer. Followers call this once the dependency-vector logic has
+// established that the update is in order.
+func (s *Store) Apply(updates []Update) {
+	for _, u := range updates {
+		p := &s.parts[int(u.Partition)%len(s.parts)]
+		p.mu.Lock()
+		if u.Value == nil {
+			delete(p.data, u.Key)
+		} else {
+			v := make([]byte, len(u.Value))
+			copy(v, u.Value)
+			p.data[u.Key] = v
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Snapshot captures the full contents of the store as a list of updates,
+// used to transfer state during failure recovery. The snapshot of each
+// partition is atomic; the caller is responsible for quiescing the store if
+// a globally consistent image is required (recovery does: the source
+// replica stops admitting packets first, §4.1).
+func (s *Store) Snapshot() []Update {
+	var out []Update
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		for k, v := range p.data {
+			val := make([]byte, len(v))
+			copy(val, v)
+			out = append(out, Update{Key: k, Value: val, Partition: uint16(i)})
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the store contents with the given snapshot.
+func (s *Store) Restore(updates []Update) {
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		p.data = make(map[string][]byte)
+		p.mu.Unlock()
+	}
+	s.Apply(updates)
+}
+
+// Result reports what a committed transaction did.
+type Result struct {
+	// Updates are the state writes in program order, ready for piggybacking.
+	// Empty for read-only transactions.
+	Updates []Update
+	// Touched lists the partitions read or written, ascending. Used by the
+	// head to maintain its dependency vector.
+	Touched []uint16
+	// ReadOnly is true if the transaction performed no writes.
+	ReadOnly bool
+	// Retries counts wound-wait re-executions before the commit.
+	Retries int
+}
+
+// Exec runs fn as a packet transaction: serializable, atomically committed,
+// automatically re-executed when wounded. If fn returns an error the
+// transaction aborts with no effects and Exec returns that error.
+//
+// Exec is the paper's "packet transaction" (§3.2, §4.2): the runtime starts
+// the transaction when a packet arrives and completes it when the middlebox
+// releases the packet.
+func (s *Store) Exec(fn func(tx Txn) error) (Result, error) {
+	return s.ExecWithHook(fn, nil)
+}
+
+// ExecWithHook is Exec with a commit hook that runs after the writes are
+// applied but before the partition locks release. The head uses it to
+// update its dependency vector at the transaction's serialization point.
+func (s *Store) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error) {
+	ts := s.tsCtr.Add(1) // wound-wait priority: kept across retries
+	retries := 0
+	for {
+		tx := newTxn(s, ts)
+		err := fn(tx)
+		if err == nil {
+			res, cerr := tx.commit(onCommit)
+			if cerr == ErrWounded {
+				retries++
+				continue
+			}
+			res.Retries = retries
+			return res, cerr
+		}
+		tx.abort()
+		if errors.Is(err, ErrWounded) {
+			retries++
+			continue
+		}
+		return Result{}, err
+	}
+}

@@ -1,0 +1,249 @@
+package state
+
+import (
+	"sync"
+)
+
+// plock is a wound-wait transaction lock guarding one state partition.
+//
+// Wound-wait (as in the paper's §4.2, and classically Rosenkrantz et al.):
+// when transaction T requests a lock held by U,
+//   - if T is older (smaller timestamp), T *wounds* U — U aborts at its next
+//     operation (or immediately if it is waiting) and T waits for release;
+//   - if T is younger, T waits.
+//
+// Priorities never change, so the waits-for graph is acyclic and deadlock is
+// impossible; wounded transactions retry with their original timestamp, so
+// they eventually become oldest and win (no starvation).
+type plock struct {
+	mu      sync.Mutex
+	owner   *lockTxn
+	release chan struct{} // closed and replaced on every release
+}
+
+func (l *plock) init() {
+	l.release = make(chan struct{})
+}
+
+// acquire takes the lock for t, blocking as needed. Returns ErrWounded if t
+// was wounded while waiting.
+func (l *plock) acquire(t *lockTxn) error {
+	for {
+		if t.isWounded() {
+			return ErrWounded
+		}
+		l.mu.Lock()
+		if l.owner == nil {
+			l.owner = t
+			l.mu.Unlock()
+			return nil
+		}
+		if l.owner == t {
+			l.mu.Unlock()
+			return nil
+		}
+		if t.ts < l.owner.ts {
+			l.owner.wound()
+		}
+		ch := l.release
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-t.woundCh:
+			return ErrWounded
+		}
+	}
+}
+
+// unlock releases the lock if t owns it and wakes all waiters.
+func (l *plock) unlock(t *lockTxn) {
+	l.mu.Lock()
+	if l.owner == t {
+		l.owner = nil
+		close(l.release)
+		l.release = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// lockTxn is an in-flight two-phase-locking packet transaction. Not safe
+// for concurrent use by multiple goroutines — a packet is processed by one
+// thread.
+type lockTxn struct {
+	store *Store
+	ts    uint64
+
+	woundMu   sync.Mutex
+	wounded   bool
+	woundCh   chan struct{}
+	done      bool
+	held      map[uint16]struct{}
+	writes    map[string]*Update // latest write per key
+	writeLog  []*Update          // program order, deduplicated by key
+	touchedRO map[uint16]struct{}
+}
+
+func newTxn(s *Store, ts uint64) *lockTxn {
+	return &lockTxn{
+		store:     s,
+		ts:        ts,
+		woundCh:   make(chan struct{}),
+		held:      make(map[uint16]struct{}),
+		writes:    make(map[string]*Update),
+		touchedRO: make(map[uint16]struct{}),
+	}
+}
+
+func (t *lockTxn) wound() {
+	t.woundMu.Lock()
+	if !t.wounded {
+		t.wounded = true
+		close(t.woundCh)
+	}
+	t.woundMu.Unlock()
+}
+
+func (t *lockTxn) isWounded() bool {
+	t.woundMu.Lock()
+	defer t.woundMu.Unlock()
+	return t.wounded
+}
+
+// lockPartition acquires the partition's transaction lock (idempotent).
+func (t *lockTxn) lockPartition(p uint16) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if _, ok := t.held[p]; ok {
+		return nil
+	}
+	if err := t.store.parts[p].lock.acquire(t); err != nil {
+		return err
+	}
+	t.held[p] = struct{}{}
+	return nil
+}
+
+// Get reads a key within the transaction. The bool reports presence.
+func (t *lockTxn) Get(key string) ([]byte, bool, error) {
+	p := t.store.PartitionOf(key)
+	if err := t.lockPartition(p); err != nil {
+		return nil, false, err
+	}
+	t.touchedRO[p] = struct{}{}
+	if w, ok := t.writes[key]; ok { // read-your-writes
+		if w.Value == nil {
+			return nil, false, nil
+		}
+		out := make([]byte, len(w.Value))
+		copy(out, w.Value)
+		return out, true, nil
+	}
+	part := &t.store.parts[p]
+	part.mu.Lock()
+	v, ok := part.data[key]
+	part.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true, nil
+}
+
+// Put buffers a write; it becomes visible (and replicable) at commit.
+func (t *lockTxn) Put(key string, val []byte) error {
+	p := t.store.PartitionOf(key)
+	if err := t.lockPartition(p); err != nil {
+		return err
+	}
+	t.touchedRO[p] = struct{}{}
+	v := make([]byte, len(val))
+	copy(v, val)
+	if w, ok := t.writes[key]; ok {
+		w.Value = v
+		return nil
+	}
+	u := &Update{Key: key, Value: v, Partition: p}
+	t.writes[key] = u
+	t.writeLog = append(t.writeLog, u)
+	return nil
+}
+
+// Delete buffers a deletion of key.
+func (t *lockTxn) Delete(key string) error {
+	p := t.store.PartitionOf(key)
+	if err := t.lockPartition(p); err != nil {
+		return err
+	}
+	t.touchedRO[p] = struct{}{}
+	if w, ok := t.writes[key]; ok {
+		w.Value = nil
+		return nil
+	}
+	u := &Update{Key: key, Value: nil, Partition: p}
+	t.writes[key] = u
+	t.writeLog = append(t.writeLog, u)
+	return nil
+}
+
+// Timestamp exposes the wound-wait priority (useful in tests).
+func (t *lockTxn) Timestamp() uint64 { return t.ts }
+
+func (t *lockTxn) releaseAll() {
+	for p := range t.held {
+		t.store.parts[p].lock.unlock(t)
+	}
+	t.held = nil
+	t.done = true
+}
+
+// commit applies buffered writes while locks are held, invokes the hook at
+// the serialization point, then releases the locks.
+func (t *lockTxn) commit(onCommit func(Result)) (Result, error) {
+	if t.done {
+		return Result{}, ErrTxnDone
+	}
+	// A wound that lands after the last lock acquisition is ignored: commit
+	// never blocks, so completing cannot create a deadlock, and 2PL already
+	// guarantees serializability. Only acquiring/waiting transactions abort.
+	res := Result{ReadOnly: len(t.writeLog) == 0}
+	for _, u := range t.writeLog {
+		part := &t.store.parts[u.Partition]
+		part.mu.Lock()
+		if u.Value == nil {
+			delete(part.data, u.Key)
+		} else {
+			v := make([]byte, len(u.Value))
+			copy(v, u.Value)
+			part.data[u.Key] = v
+		}
+		part.mu.Unlock()
+		res.Updates = append(res.Updates, *u)
+	}
+	res.Touched = make([]uint16, 0, len(t.touchedRO))
+	for p := range t.touchedRO {
+		res.Touched = append(res.Touched, p)
+	}
+	sortU16(res.Touched)
+	if onCommit != nil {
+		onCommit(res)
+	}
+	t.releaseAll()
+	return res, nil
+}
+
+func (t *lockTxn) abort() {
+	if t.done {
+		return
+	}
+	t.releaseAll()
+}
+
+func sortU16(s []uint16) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

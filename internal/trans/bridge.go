@@ -1,0 +1,319 @@
+// Package trans bridges a local netsim fabric to real sockets so FTC
+// replicas can run as separate OS processes: the data plane tunnels frames
+// over UDP and the control plane (repair, recovery fetch, heartbeats) runs
+// over TCP. Each process hosts one replica on a private fabric plus proxy
+// nodes standing in for its remote peers; the bridge shuttles frames and
+// RPCs between the proxies and the network.
+//
+// This is the deployment path cmd/ftcd uses. The protocol logic is byte-
+// identical to the in-process fabric — the bridge only moves frames.
+package trans
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/netsim"
+)
+
+// MaxFrame is the largest tunneled frame (jumbo frame + trailer headroom).
+const MaxFrame = 16 * 1024
+
+// Peer describes a remote process hosting one fabric node.
+type Peer struct {
+	// ID is the fabric node ID the remote node is known by (proxied
+	// locally under the same name).
+	ID netsim.NodeID
+	// UDPAddr is the peer's data-plane address.
+	UDPAddr string
+	// TCPAddr is the peer's control-plane address (may be empty if the
+	// peer serves no RPCs).
+	TCPAddr string
+}
+
+// Bridge tunnels one local fabric node's traffic to remote peers.
+type Bridge struct {
+	fabric  *netsim.Fabric
+	localID netsim.NodeID
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	mu    sync.Mutex
+	peers map[netsim.NodeID]Peer
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewBridge creates a bridge for the given local node, listening on the
+// UDP and TCP addresses, with proxy nodes for each peer. Pass empty listen
+// addresses to pick ephemeral ports (see Addrs).
+func NewBridge(fabric *netsim.Fabric, localID netsim.NodeID, listenUDP, listenTCP string, peers []Peer) (*Bridge, error) {
+	if listenUDP == "" {
+		listenUDP = "127.0.0.1:0"
+	}
+	if listenTCP == "" {
+		listenTCP = "127.0.0.1:0"
+	}
+	uaddr, err := net.ResolveUDPAddr("udp", listenUDP)
+	if err != nil {
+		return nil, fmt.Errorf("trans: resolve udp: %w", err)
+	}
+	uc, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return nil, fmt.Errorf("trans: listen udp: %w", err)
+	}
+	tl, err := net.Listen("tcp", listenTCP)
+	if err != nil {
+		uc.Close()
+		return nil, fmt.Errorf("trans: listen tcp: %w", err)
+	}
+	b := &Bridge{
+		fabric:  fabric,
+		localID: localID,
+		udp:     uc,
+		tcp:     tl,
+		peers:   make(map[netsim.NodeID]Peer),
+		stopped: make(chan struct{}),
+	}
+	for _, p := range peers {
+		if err := b.AddPeer(p); err != nil {
+			b.Close()
+			return nil, err
+		}
+	}
+	b.wg.Add(2)
+	go b.udpLoop()
+	go b.tcpLoop()
+	return b, nil
+}
+
+// Addrs reports the bridge's bound UDP and TCP addresses.
+func (b *Bridge) Addrs() (udp, tcp string) {
+	return b.udp.LocalAddr().String(), b.tcp.Addr().String()
+}
+
+// AddPeer registers (or updates) a remote peer, creating its local proxy
+// node if needed. The proxy forwards data frames over UDP and control RPCs
+// over TCP.
+func (b *Bridge) AddPeer(p Peer) error {
+	b.mu.Lock()
+	_, existed := b.peers[p.ID]
+	b.peers[p.ID] = p
+	b.mu.Unlock()
+	if existed {
+		return nil
+	}
+	proxy := b.fabric.AddNode(p.ID, netsim.NodeConfig{QueueCap: 4096})
+	for _, name := range rpcNames {
+		name := name
+		proxy.RegisterRPC(name, func(_ netsim.NodeID, req []byte) ([]byte, error) {
+			return b.forwardRPC(p.ID, name, req)
+		})
+	}
+	b.wg.Add(1)
+	go b.drainProxy(proxy)
+	return nil
+}
+
+// rpcNames lists the control RPCs proxied across processes. Kept in sync
+// with the core package's control plane.
+var rpcNames = []string{"ftc.repair", "ftc.fetch", "ftc.setgen", "ftc.setroute", "ftc.ping"}
+
+// drainProxy tunnels frames the local replica sends to a proxy node.
+func (b *Bridge) drainProxy(proxy *netsim.Node) {
+	defer b.wg.Done()
+	for {
+		in, ok := proxy.Recv(0)
+		if !ok {
+			return
+		}
+		b.mu.Lock()
+		peer, ok := b.peers[proxy.ID()]
+		b.mu.Unlock()
+		if !ok {
+			continue
+		}
+		addr, err := net.ResolveUDPAddr("udp", peer.UDPAddr)
+		if err != nil {
+			continue
+		}
+		_, _ = b.udp.WriteToUDP(in.Frame, addr)
+	}
+}
+
+// udpLoop injects inbound tunneled frames into the local node.
+func (b *Bridge) udpLoop() {
+	defer b.wg.Done()
+	buf := make([]byte, MaxFrame)
+	for {
+		n, _, err := b.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		_ = b.fabric.Send("trans-wan", b.localID, buf[:n])
+	}
+}
+
+// Close shuts the bridge down, crashing the proxy nodes so their drain
+// goroutines terminate.
+func (b *Bridge) Close() {
+	b.stopOnce.Do(func() {
+		close(b.stopped)
+		b.udp.Close()
+		b.tcp.Close()
+		b.mu.Lock()
+		ids := make([]netsim.NodeID, 0, len(b.peers))
+		for id := range b.peers {
+			ids = append(ids, id)
+		}
+		b.mu.Unlock()
+		for _, id := range ids {
+			if n := b.fabric.Node(id); n != nil {
+				n.Crash()
+			}
+		}
+	})
+	b.wg.Wait()
+}
+
+// ---- control plane framing: u32 total | u16 nameLen | name | payload ----
+// ---- response: u32 total | u8 status | payload-or-error ----
+
+func writeRequest(w io.Writer, name string, payload []byte) error {
+	total := 2 + len(name) + len(payload)
+	hdr := make([]byte, 0, 6+len(name))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(total))
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(name)))
+	hdr = append(hdr, name...)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readRequest(r io.Reader) (string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 2 || total > 64<<20 {
+		return "", nil, errors.New("trans: bad request length")
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return "", nil, err
+	}
+	nameLen := int(binary.BigEndian.Uint16(body[:2]))
+	if 2+nameLen > len(body) {
+		return "", nil, errors.New("trans: bad name length")
+	}
+	return string(body[2 : 2+nameLen]), body[2+nameLen:], nil
+}
+
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	hdr := make([]byte, 0, 5)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(1+len(payload)))
+	hdr = append(hdr, status)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readResponse(r io.Reader) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 1 || total > 64<<20 {
+		return nil, errors.New("trans: bad response length")
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if body[0] != 0 {
+		return nil, fmt.Errorf("trans: remote error: %s", body[1:])
+	}
+	return body[1:], nil
+}
+
+// forwardRPC tunnels one control call to the peer over TCP.
+func (b *Bridge) forwardRPC(peerID netsim.NodeID, name string, req []byte) ([]byte, error) {
+	b.mu.Lock()
+	peer, ok := b.peers[peerID]
+	b.mu.Unlock()
+	if !ok || peer.TCPAddr == "" {
+		return nil, fmt.Errorf("trans: no control address for %s", peerID)
+	}
+	conn, err := net.DialTimeout("tcp", peer.TCPAddr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := writeRequest(conn, name, req); err != nil {
+		return nil, err
+	}
+	return readResponse(conn)
+}
+
+// tcpLoop serves inbound control calls by dispatching them to the local
+// node's RPC handlers.
+func (b *Bridge) tcpLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.tcp.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			defer conn.Close()
+			conn.SetDeadline(time.Now().Add(60 * time.Second))
+			name, payload, err := readRequest(conn)
+			if err != nil {
+				return
+			}
+			node := b.fabric.Node(b.localID)
+			if node == nil {
+				writeResponse(conn, 1, []byte("no local node"))
+				return
+			}
+			resp, err := dispatchLocal(node, name, payload)
+			if err != nil {
+				writeResponse(conn, 1, []byte(err.Error()))
+				return
+			}
+			writeResponse(conn, 0, resp)
+		}()
+	}
+}
+
+// dispatchLocal invokes a registered RPC handler on the local node.
+func dispatchLocal(n *netsim.Node, name string, payload []byte) ([]byte, error) {
+	h, ok := n.LookupRPC(name)
+	if !ok {
+		return nil, fmt.Errorf("trans: no handler %s", name)
+	}
+	return h("trans-wan", payload)
+}

@@ -1,0 +1,119 @@
+package wire
+
+import "encoding/binary"
+
+// UDPSpec describes a UDP packet to build.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	Src, Dst         IPv4Addr
+	SrcPort, DstPort uint16
+	TTL              uint8 // defaults to 64 if zero
+	ID               uint16
+	Payload          []byte
+	// Headroom reserves extra capacity beyond the frame so the FTC runtime
+	// can append trailers and insert the IP option without reallocating.
+	Headroom int
+}
+
+// BuildUDP assembles a complete Ethernet/IPv4/UDP frame with valid
+// checksums.
+func BuildUDP(s UDPSpec) (*Packet, error) {
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	udpLen := UDPHeaderLen + len(s.Payload)
+	totalLen := IPv4MinHeaderLen + udpLen
+	frameLen := EthernetHeaderLen + totalLen
+	buf := make([]byte, frameLen, frameLen+s.Headroom)
+
+	eth := Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, EtherType: EtherTypeIPv4}
+	if err := EncodeEthernet(buf, &eth); err != nil {
+		return nil, err
+	}
+	ip := IPv4{
+		Version:     4,
+		IHL:         IPv4MinHeaderLen / 4,
+		TotalLength: uint16(totalLen),
+		ID:          s.ID,
+		TTL:         ttl,
+		Protocol:    ProtoUDP,
+		Src:         s.Src,
+		Dst:         s.Dst,
+	}
+	if err := EncodeIPv4(buf[EthernetHeaderLen:], &ip); err != nil {
+		return nil, err
+	}
+	l4 := buf[EthernetHeaderLen+IPv4MinHeaderLen:]
+	udp := UDP{SrcPort: s.SrcPort, DstPort: s.DstPort, Length: uint16(udpLen)}
+	if err := EncodeUDP(l4, &udp); err != nil {
+		return nil, err
+	}
+	copy(l4[UDPHeaderLen:], s.Payload)
+	cs := TransportChecksum(s.Src, s.Dst, ProtoUDP, l4[:udpLen])
+	binary.BigEndian.PutUint16(l4[6:8], cs)
+
+	return Parse(buf)
+}
+
+// TCPSpec describes a TCP packet to build.
+type TCPSpec struct {
+	SrcMAC, DstMAC   MAC
+	Src, Dst         IPv4Addr
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	TTL              uint8
+	Payload          []byte
+	Headroom         int
+}
+
+// BuildTCP assembles a complete Ethernet/IPv4/TCP frame with valid
+// checksums and no TCP options.
+func BuildTCP(s TCPSpec) (*Packet, error) {
+	ttl := s.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	win := s.Window
+	if win == 0 {
+		win = 65535
+	}
+	tcpLen := TCPMinHeaderLen + len(s.Payload)
+	totalLen := IPv4MinHeaderLen + tcpLen
+	frameLen := EthernetHeaderLen + totalLen
+	buf := make([]byte, frameLen, frameLen+s.Headroom)
+
+	eth := Ethernet{Dst: s.DstMAC, Src: s.SrcMAC, EtherType: EtherTypeIPv4}
+	if err := EncodeEthernet(buf, &eth); err != nil {
+		return nil, err
+	}
+	ip := IPv4{
+		Version:     4,
+		IHL:         IPv4MinHeaderLen / 4,
+		TotalLength: uint16(totalLen),
+		TTL:         ttl,
+		Protocol:    ProtoTCP,
+		Src:         s.Src,
+		Dst:         s.Dst,
+	}
+	if err := EncodeIPv4(buf[EthernetHeaderLen:], &ip); err != nil {
+		return nil, err
+	}
+	l4 := buf[EthernetHeaderLen+IPv4MinHeaderLen:]
+	tcp := TCP{
+		SrcPort: s.SrcPort, DstPort: s.DstPort,
+		Seq: s.Seq, Ack: s.Ack,
+		DataOffset: TCPMinHeaderLen / 4,
+		Flags:      s.Flags, Window: win,
+	}
+	if err := EncodeTCP(l4, &tcp); err != nil {
+		return nil, err
+	}
+	copy(l4[TCPMinHeaderLen:], s.Payload)
+	cs := TransportChecksum(s.Src, s.Dst, ProtoTCP, l4[:tcpLen])
+	binary.BigEndian.PutUint16(l4[16:18], cs)
+
+	return Parse(buf)
+}

@@ -1,0 +1,64 @@
+// Package wire implements the packet formats the FTC data plane moves around:
+// Ethernet II, IPv4 (including options), UDP, and TCP, plus the internet
+// checksum. The design follows gopacket's DecodingLayer philosophy — decode
+// into preallocated structs, serialize in place, no per-packet allocation on
+// the hot path — but is written from scratch against the stdlib only.
+//
+// A Packet wraps a raw frame and exposes typed, bounds-checked views of each
+// header so middleboxes can rewrite fields (NAT) and the FTC runtime can
+// append and strip its piggyback trailer without copying the payload.
+package wire
+
+import "encoding/binary"
+
+// Checksum computes the 16-bit one's-complement internet checksum (RFC 1071)
+// over b. The caller is responsible for zeroing the checksum field first.
+func Checksum(b []byte) uint16 {
+	return finishChecksum(sumBytes(0, b))
+}
+
+// sumBytes accumulates the 32-bit intermediate sum over b.
+func sumBytes(sum uint32, b []byte) uint32 {
+	n := len(b)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if i < n { // odd trailing byte, padded with zero
+		sum += uint32(b[i]) << 8
+	}
+	return sum
+}
+
+func finishChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum computes the IPv4 pseudo-header sum used by UDP and TCP
+// checksums: source, destination, protocol, and transport length.
+func pseudoHeaderSum(src, dst [4]byte, proto uint8, length uint16) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes a UDP or TCP checksum including the IPv4
+// pseudo-header. segment must have its checksum field zeroed.
+func TransportChecksum(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderSum(src, dst, proto, uint16(len(segment)))
+	sum = sumBytes(sum, segment)
+	c := finishChecksum(sum)
+	if proto == ProtoUDP && c == 0 {
+		// RFC 768: transmitted as all ones if the computed checksum is zero.
+		return 0xffff
+	}
+	return c
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame and protocol constants.
+const (
+	EthernetHeaderLen = 14
+	EtherTypeIPv4     = 0x0800
+	EtherTypeARP      = 0x0806
+
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Errors shared across the decoders.
+var (
+	ErrTruncated  = errors.New("wire: truncated packet")
+	ErrBadVersion = errors.New("wire: bad IP version")
+	ErrBadHeader  = errors.New("wire: malformed header")
+)
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// String formats the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet is a decoded Ethernet II header. Decoding copies only the fixed
+// 14-byte header fields; payload access goes through the parent Packet.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// DecodeEthernet parses the header at the front of b.
+func DecodeEthernet(b []byte, e *Ethernet) error {
+	if len(b) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return nil
+}
+
+// EncodeEthernet writes the header into b, which must hold at least
+// EthernetHeaderLen bytes.
+func EncodeEthernet(b []byte, e *Ethernet) error {
+	if len(b) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(b[0:6], e.Dst[:])
+	copy(b[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], e.EtherType)
+	return nil
+}

@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4 header constants.
+const (
+	IPv4MinHeaderLen = 20
+	IPv4MaxHeaderLen = 60
+
+	// OptionFTC is the IP option kind the FTC runtime inserts to mark a
+	// packet as carrying a piggyback message (copied flag set, option class
+	// 0, experimental number 30 → 0x9E). The option is 4 bytes:
+	// kind, length=4, and a 2-byte magic.
+	OptionFTC    = 0x9E
+	OptionFTCLen = 4
+	OptionEOL    = 0
+	OptionNOP    = 1
+
+	ftcOptionMagic = 0xF7C0
+)
+
+// IPv4Addr is an IPv4 address in network byte order.
+type IPv4Addr [4]byte
+
+// String formats the address in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns the address as a big-endian integer.
+func (a IPv4Addr) Uint32() uint32 { return binary.BigEndian.Uint32(a[:]) }
+
+// Addr4 builds an address from four octets.
+func Addr4(a, b, c, d byte) IPv4Addr { return IPv4Addr{a, b, c, d} }
+
+// IPv4 is a decoded IPv4 header. Options are referenced, not copied; they
+// alias the underlying frame buffer and are valid until the frame mutates.
+type IPv4 struct {
+	Version     uint8
+	IHL         uint8 // header length in 32-bit words
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	Flags       uint8 // 3 bits
+	FragOffset  uint16
+	TTL         uint8
+	Protocol    uint8
+	Checksum    uint16
+	Src, Dst    IPv4Addr
+	Options     []byte // raw option bytes, nil if none
+}
+
+// HeaderLen reports the header length in bytes.
+func (h *IPv4) HeaderLen() int { return int(h.IHL) * 4 }
+
+// DecodeIPv4 parses the header at the front of b.
+func DecodeIPv4(b []byte, h *IPv4) error {
+	if len(b) < IPv4MinHeaderLen {
+		return ErrTruncated
+	}
+	vihl := b[0]
+	h.Version = vihl >> 4
+	h.IHL = vihl & 0x0f
+	if h.Version != 4 {
+		return ErrBadVersion
+	}
+	hl := int(h.IHL) * 4
+	if hl < IPv4MinHeaderLen || hl > IPv4MaxHeaderLen {
+		return ErrBadHeader
+	}
+	if len(b) < hl {
+		return ErrTruncated
+	}
+	h.TOS = b[1]
+	h.TotalLength = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOffset = ff & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if hl > IPv4MinHeaderLen {
+		h.Options = b[IPv4MinHeaderLen:hl]
+	} else {
+		h.Options = nil
+	}
+	return nil
+}
+
+// EncodeIPv4 writes the header into b and computes the header checksum.
+// b must hold HeaderLen bytes. Options, if any, must be a multiple of 4
+// bytes and consistent with IHL.
+func EncodeIPv4(b []byte, h *IPv4) error {
+	hl := h.HeaderLen()
+	if hl < IPv4MinHeaderLen || hl > IPv4MaxHeaderLen {
+		return ErrBadHeader
+	}
+	if len(h.Options) != hl-IPv4MinHeaderLen {
+		return fmt.Errorf("%w: IHL %d inconsistent with %d option bytes", ErrBadHeader, h.IHL, len(h.Options))
+	}
+	if len(b) < hl {
+		return ErrTruncated
+	}
+	b[0] = 4<<4 | h.IHL
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLength)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOffset&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	copy(b[IPv4MinHeaderLen:hl], h.Options)
+	cs := Checksum(b[:hl])
+	binary.BigEndian.PutUint16(b[10:12], cs)
+	h.Checksum = cs
+	return nil
+}
+
+// hasFTCOption scans raw option bytes for the FTC marker option.
+func hasFTCOption(options []byte) bool {
+	i := 0
+	for i < len(options) {
+		kind := options[i]
+		switch kind {
+		case OptionEOL:
+			return false
+		case OptionNOP:
+			i++
+			continue
+		}
+		if i+1 >= len(options) {
+			return false // malformed, ignore
+		}
+		optLen := int(options[i+1])
+		if optLen < 2 || i+optLen > len(options) {
+			return false
+		}
+		if kind == OptionFTC && optLen == OptionFTCLen &&
+			binary.BigEndian.Uint16(options[i+2:i+4]) == ftcOptionMagic {
+			return true
+		}
+		i += optLen
+	}
+	return false
+}
+
+// ftcOptionBytes returns the encoded FTC marker option.
+func ftcOptionBytes() [OptionFTCLen]byte {
+	var o [OptionFTCLen]byte
+	o[0] = OptionFTC
+	o[1] = OptionFTCLen
+	binary.BigEndian.PutUint16(o[2:4], ftcOptionMagic)
+	return o
+}

@@ -1,0 +1,50 @@
+package wire
+
+import "encoding/binary"
+
+// RSSHash computes a receive-side-scaling hash straight from raw frame
+// bytes, without full parsing, so NIC queue selection stays cheap. It
+// hashes the IPv4 addresses, protocol, and (for UDP/TCP) ports with FNV-1a.
+// Non-IPv4 or truncated frames hash to 0.
+func RSSHash(frame []byte) uint64 {
+	if len(frame) < EthernetHeaderLen+IPv4MinHeaderLen {
+		return 0
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return 0
+	}
+	ip := frame[EthernetHeaderLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4MinHeaderLen || len(ip) < ihl+4 {
+		return 0
+	}
+	proto := ip[9]
+
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, b := range ip[12:20] { // src+dst addresses
+		mix(b)
+	}
+	mix(proto)
+	if proto == ProtoUDP || proto == ProtoTCP {
+		for _, b := range ip[ihl : ihl+4] { // src+dst ports
+			mix(b)
+		}
+	}
+	return h
+}
+
+// RSSSelector adapts RSSHash to a queue-selection function.
+func RSSSelector(frame []byte, queues int) int {
+	if queues <= 1 {
+		return 0
+	}
+	return int(RSSHash(frame) % uint64(queues))
+}

@@ -1,0 +1,120 @@
+package wire
+
+import "encoding/binary"
+
+// Transport header constants.
+const (
+	UDPHeaderLen    = 8
+	TCPMinHeaderLen = 20
+)
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// DecodeUDP parses the header at the front of b.
+func DecodeUDP(b []byte, u *UDP) error {
+	if len(b) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return nil
+}
+
+// EncodeUDP writes the header into b without computing the checksum
+// (use TransportChecksum over the full segment, or leave zero to disable).
+func EncodeUDP(b []byte, u *UDP) error {
+	if len(b) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	return nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// TCP is a decoded TCP header. Options alias the frame buffer.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOffset       uint8 // header length in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+}
+
+// HeaderLen reports the header length in bytes.
+func (t *TCP) HeaderLen() int { return int(t.DataOffset) * 4 }
+
+// DecodeTCP parses the header at the front of b.
+func DecodeTCP(b []byte, t *TCP) error {
+	if len(b) < TCPMinHeaderLen {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.DataOffset = b[12] >> 4
+	hl := t.HeaderLen()
+	if hl < TCPMinHeaderLen {
+		return ErrBadHeader
+	}
+	if len(b) < hl {
+		return ErrTruncated
+	}
+	t.Flags = b[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Checksum = binary.BigEndian.Uint16(b[16:18])
+	t.Urgent = binary.BigEndian.Uint16(b[18:20])
+	if hl > TCPMinHeaderLen {
+		t.Options = b[TCPMinHeaderLen:hl]
+	} else {
+		t.Options = nil
+	}
+	return nil
+}
+
+// EncodeTCP writes the header into b without computing the checksum.
+func EncodeTCP(b []byte, t *TCP) error {
+	hl := t.HeaderLen()
+	if hl < TCPMinHeaderLen {
+		return ErrBadHeader
+	}
+	if len(t.Options) != hl-TCPMinHeaderLen {
+		return ErrBadHeader
+	}
+	if len(b) < hl {
+		return ErrTruncated
+	}
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = t.DataOffset << 4
+	b[13] = t.Flags & 0x3f
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[16:18], t.Checksum)
+	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
+	copy(b[TCPMinHeaderLen:hl], t.Options)
+	return nil
+}

@@ -1,0 +1,677 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	macA = MAC{0x02, 0, 0, 0, 0, 0xaa}
+	macB = MAC{0x02, 0, 0, 0, 0, 0xbb}
+	ipA  = Addr4(10, 0, 0, 1)
+	ipB  = Addr4(192, 168, 1, 2)
+)
+
+func mustUDP(t testing.TB, payload []byte) *Packet {
+	t.Helper()
+	p, err := BuildUDP(UDPSpec{
+		SrcMAC: macA, DstMAC: macB,
+		Src: ipA, Dst: ipB,
+		SrcPort: 1234, DstPort: 80,
+		Payload:  payload,
+		Headroom: 512,
+	})
+	if err != nil {
+		t.Fatalf("BuildUDP: %v", err)
+	}
+	return p
+}
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Example from RFC 1071 §3: 0x0001, 0xf203, 0xf4f5, 0xf6f7 → sum 0xddf2,
+	// checksum is its complement.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	if got, want := Checksum([]byte{0x01}), ^uint16(0x0100); got != want {
+		t.Fatalf("odd checksum = %04x, want %04x", got, want)
+	}
+}
+
+func TestChecksumZeroes(t *testing.T) {
+	if got := Checksum(make([]byte, 20)); got != 0xffff {
+		t.Fatalf("all-zero checksum = %04x", got)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{Dst: macB, Src: macA, EtherType: EtherTypeIPv4}
+	b := make([]byte, EthernetHeaderLen)
+	if err := EncodeEthernet(b, &e); err != nil {
+		t.Fatal(err)
+	}
+	var d Ethernet
+	if err := DecodeEthernet(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d != e {
+		t.Fatalf("round trip: got %+v want %+v", d, e)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var e Ethernet
+	if err := DecodeEthernet(make([]byte, 13), &e); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if err := EncodeEthernet(make([]byte, 5), &e); err != ErrTruncated {
+		t.Fatalf("encode err = %v", err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	if s := macA.String(); s != "02:00:00:00:00:aa" {
+		t.Fatalf("MAC string = %q", s)
+	}
+}
+
+func TestIPv4AddrHelpers(t *testing.T) {
+	a := Addr4(10, 1, 2, 3)
+	if a.String() != "10.1.2.3" {
+		t.Fatalf("string = %q", a.String())
+	}
+	if a.Uint32() != 0x0a010203 {
+		t.Fatalf("uint32 = %08x", a.Uint32())
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		Version: 4, IHL: 5, TOS: 0x10, TotalLength: 40, ID: 7,
+		Flags: 2, FragOffset: 0, TTL: 64, Protocol: ProtoTCP,
+		Src: ipA, Dst: ipB,
+	}
+	b := make([]byte, 20)
+	if err := EncodeIPv4(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	if Checksum(b) != 0 {
+		t.Fatal("encoded header checksum does not verify")
+	}
+	var d IPv4
+	if err := DecodeIPv4(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Src != h.Src || d.Dst != h.Dst || d.TTL != h.TTL || d.TotalLength != h.TotalLength ||
+		d.Flags != h.Flags || d.Protocol != h.Protocol || d.TOS != h.TOS || d.ID != h.ID {
+		t.Fatalf("round trip mismatch: %+v vs %+v", d, h)
+	}
+}
+
+func TestIPv4WithOptionsRoundTrip(t *testing.T) {
+	opt := ftcOptionBytes()
+	h := IPv4{
+		Version: 4, IHL: 6, TotalLength: 44, TTL: 64, Protocol: ProtoUDP,
+		Src: ipA, Dst: ipB, Options: opt[:],
+	}
+	b := make([]byte, 24)
+	if err := EncodeIPv4(b, &h); err != nil {
+		t.Fatal(err)
+	}
+	var d IPv4
+	if err := DecodeIPv4(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.Options, opt[:]) {
+		t.Fatalf("options = %x, want %x", d.Options, opt)
+	}
+	if !hasFTCOption(d.Options) {
+		t.Fatal("FTC option not detected")
+	}
+}
+
+func TestIPv4Malformed(t *testing.T) {
+	var h IPv4
+	if err := DecodeIPv4(make([]byte, 10), &h); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 20)
+	b[0] = 6 << 4 // IPv6 version
+	if err := DecodeIPv4(b, &h); err != ErrBadVersion {
+		t.Fatalf("version: %v", err)
+	}
+	b[0] = 4<<4 | 3 // IHL below minimum
+	if err := DecodeIPv4(b, &h); err != ErrBadHeader {
+		t.Fatalf("ihl: %v", err)
+	}
+	b[0] = 4<<4 | 15 // IHL 60 bytes but buffer is 20
+	if err := DecodeIPv4(b, &h); err != ErrTruncated {
+		t.Fatalf("ihl overflow: %v", err)
+	}
+	// Encode with inconsistent options.
+	bad := IPv4{Version: 4, IHL: 6, Options: nil}
+	if err := EncodeIPv4(make([]byte, 24), &bad); err == nil {
+		t.Fatal("inconsistent options should fail")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 53, DstPort: 5353, Length: 30, Checksum: 0xabcd}
+	b := make([]byte, 8)
+	if err := EncodeUDP(b, &u); err != nil {
+		t.Fatal(err)
+	}
+	var d UDP
+	if err := DecodeUDP(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d != u {
+		t.Fatalf("round trip: %+v vs %+v", d, u)
+	}
+	if err := DecodeUDP(b[:7], &d); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tc := TCP{
+		SrcPort: 443, DstPort: 50000, Seq: 1e9, Ack: 2e9,
+		DataOffset: 5, Flags: TCPSyn | TCPAck, Window: 1024, Urgent: 1,
+	}
+	b := make([]byte, 20)
+	if err := EncodeTCP(b, &tc); err != nil {
+		t.Fatal(err)
+	}
+	var d TCP
+	if err := DecodeTCP(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcPort != tc.SrcPort || d.Seq != tc.Seq || d.Flags != tc.Flags || d.Window != tc.Window {
+		t.Fatalf("round trip: %+v vs %+v", d, tc)
+	}
+}
+
+func TestBuildUDPVerifies(t *testing.T) {
+	p := mustUDP(t, []byte("hello"))
+	if !p.VerifyIPChecksum() {
+		t.Fatal("IP checksum invalid")
+	}
+	if !p.VerifyL4Checksum() {
+		t.Fatal("UDP checksum invalid")
+	}
+	if string(p.Payload()) != "hello" {
+		t.Fatalf("payload = %q", p.Payload())
+	}
+	ft := p.FiveTuple()
+	if ft.Src != ipA || ft.DstPort != 80 || ft.Proto != ProtoUDP {
+		t.Fatalf("tuple = %v", ft)
+	}
+}
+
+func TestBuildTCPVerifies(t *testing.T) {
+	p, err := BuildTCP(TCPSpec{
+		SrcMAC: macA, DstMAC: macB, Src: ipA, Dst: ipB,
+		SrcPort: 1000, DstPort: 2000, Seq: 42, Flags: TCPSyn,
+		Payload: []byte("xyz"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+		t.Fatal("checksums invalid")
+	}
+	if p.TCP.Flags != TCPSyn || string(p.Payload()) != "xyz" {
+		t.Fatalf("tcp = %+v payload=%q", p.TCP, p.Payload())
+	}
+}
+
+func TestNATRewriteKeepsChecksumsValid(t *testing.T) {
+	p := mustUDP(t, bytes.Repeat([]byte{0x5a}, 64))
+	p.SetIPSrc(Addr4(8, 8, 8, 8))
+	p.SetSrcPort(40000)
+	p.SetIPDst(Addr4(1, 1, 1, 1))
+	p.SetDstPort(443)
+	if !p.VerifyIPChecksum() {
+		t.Fatal("IP checksum invalid after rewrite")
+	}
+	if !p.VerifyL4Checksum() {
+		t.Fatal("UDP checksum invalid after rewrite")
+	}
+	ft := p.FiveTuple()
+	if ft.Src != Addr4(8, 8, 8, 8) || ft.SrcPort != 40000 || ft.Dst != Addr4(1, 1, 1, 1) || ft.DstPort != 443 {
+		t.Fatalf("tuple after rewrite = %v", ft)
+	}
+}
+
+func TestTCPRewriteChecksum(t *testing.T) {
+	p, err := BuildTCP(TCPSpec{
+		SrcMAC: macA, DstMAC: macB, Src: ipA, Dst: ipB,
+		SrcPort: 1000, DstPort: 2000, Payload: []byte("data"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetIPSrc(Addr4(100, 64, 0, 9))
+	p.SetSrcPort(55555)
+	if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+		t.Fatal("checksums invalid after TCP rewrite")
+	}
+}
+
+func TestDecTTL(t *testing.T) {
+	p := mustUDP(t, nil)
+	start := p.IP.TTL
+	if !p.DecTTL() {
+		t.Fatal("DecTTL returned false with TTL > 1")
+	}
+	if p.IP.TTL != start-1 {
+		t.Fatalf("TTL = %d", p.IP.TTL)
+	}
+	if !p.VerifyIPChecksum() {
+		t.Fatal("checksum invalid after TTL decrement")
+	}
+}
+
+func TestTrailerRoundTrip(t *testing.T) {
+	p := mustUDP(t, []byte("payload"))
+	if p.HasTrailer() {
+		t.Fatal("fresh packet should have no trailer")
+	}
+	body := []byte("piggyback-state-updates")
+	if err := p.SetTrailer(body); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasTrailer() {
+		t.Fatal("trailer not detected")
+	}
+	if !bytes.Equal(p.Trailer(), body) {
+		t.Fatalf("trailer = %q", p.Trailer())
+	}
+	// Payload and checksums are untouched by the trailer.
+	if string(p.Payload()) != "payload" {
+		t.Fatalf("payload corrupted: %q", p.Payload())
+	}
+	if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+		t.Fatal("checksums changed by trailer")
+	}
+	got := p.StripTrailer()
+	if !bytes.Equal(got, body) {
+		t.Fatalf("stripped = %q", got)
+	}
+	if p.HasTrailer() {
+		t.Fatal("trailer still present after strip")
+	}
+}
+
+func TestTrailerReplace(t *testing.T) {
+	p := mustUDP(t, nil)
+	if err := p.SetTrailer([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetTrailer([]byte("second-longer-trailer")); err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Trailer()) != "second-longer-trailer" {
+		t.Fatalf("trailer = %q", p.Trailer())
+	}
+}
+
+func TestTrailerEmptyBody(t *testing.T) {
+	p := mustUDP(t, nil)
+	if err := p.SetTrailer(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasTrailer() {
+		t.Fatal("empty trailer should still be detectable")
+	}
+	if len(p.Trailer()) != 0 {
+		t.Fatalf("trailer = %q", p.Trailer())
+	}
+}
+
+func TestTrailerGarbageNotDetected(t *testing.T) {
+	p := mustUDP(t, nil)
+	p.Buf = append(p.Buf, 1, 2, 3, 4, 5) // junk past IP length, no footer
+	if p.HasTrailer() {
+		t.Fatal("garbage detected as trailer")
+	}
+	if p.Trailer() != nil {
+		t.Fatal("garbage trailer returned")
+	}
+}
+
+func TestFTCOptionInsertRemove(t *testing.T) {
+	p := mustUDP(t, []byte("the-payload"))
+	p.SetTrailer([]byte("trailer"))
+	origTuple := p.FiveTuple()
+
+	if err := p.InsertFTCOption(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasFTCOption() {
+		t.Fatal("option not present after insert")
+	}
+	if p.IP.IHL != 6 {
+		t.Fatalf("IHL = %d", p.IP.IHL)
+	}
+	if !p.VerifyIPChecksum() {
+		t.Fatal("IP checksum invalid after option insert")
+	}
+	if string(p.Payload()) != "the-payload" {
+		t.Fatalf("payload shifted wrong: %q", p.Payload())
+	}
+	if string(p.Trailer()) != "trailer" {
+		t.Fatalf("trailer lost: %q", p.Trailer())
+	}
+	if p.FiveTuple() != origTuple {
+		t.Fatalf("tuple changed: %v", p.FiveTuple())
+	}
+	// Idempotent.
+	if err := p.InsertFTCOption(); err != nil {
+		t.Fatal(err)
+	}
+	if p.IP.IHL != 6 {
+		t.Fatalf("double insert: IHL = %d", p.IP.IHL)
+	}
+
+	if err := p.RemoveFTCOption(); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasFTCOption() || p.IP.IHL != 5 {
+		t.Fatalf("option still present, IHL=%d", p.IP.IHL)
+	}
+	if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+		t.Fatal("checksums invalid after option removal")
+	}
+	if string(p.Payload()) != "the-payload" || string(p.Trailer()) != "trailer" {
+		t.Fatal("payload/trailer corrupted after removal")
+	}
+}
+
+func TestParseRejectsNonIPv4(t *testing.T) {
+	b := make([]byte, 60)
+	e := Ethernet{EtherType: EtherTypeARP}
+	EncodeEthernet(b, &e)
+	if _, err := Parse(b); err == nil {
+		t.Fatal("ARP frame should not parse")
+	}
+}
+
+func TestParseTruncatedIPLength(t *testing.T) {
+	p := mustUDP(t, []byte("hello"))
+	// Claim a larger total length than the frame provides.
+	binary.BigEndian.PutUint16(p.Buf[EthernetHeaderLen+2:], 1000)
+	if _, err := Parse(p.Buf); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := mustUDP(t, []byte("abc"))
+	p.SetTrailer([]byte("tr"))
+	q := p.Clone()
+	q.SetIPSrc(Addr4(9, 9, 9, 9))
+	if p.IP.Src == q.IP.Src {
+		t.Fatal("clone shares buffer")
+	}
+	if string(q.Trailer()) != "tr" {
+		t.Fatal("clone lost trailer")
+	}
+}
+
+func TestFiveTupleReverseAndHash(t *testing.T) {
+	ft := FiveTuple{Src: ipA, Dst: ipB, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	r := ft.Reverse()
+	if r.Src != ipB || r.SrcPort != 2 || r.Dst != ipA || r.DstPort != 1 {
+		t.Fatalf("reverse = %v", r)
+	}
+	if ft.Hash() == r.Hash() {
+		t.Fatal("directional hash should differ for reversed tuple")
+	}
+	if ft.Hash() != ft.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestChecksumUpdateProperty(t *testing.T) {
+	// RFC 1624 incremental update must agree with full recomputation.
+	f := func(data []byte, pos uint8, repl uint16) bool {
+		if len(data) < 4 {
+			return true
+		}
+		if len(data)%2 == 1 {
+			data = data[:len(data)-1]
+		}
+		i := (int(pos) % (len(data) / 2)) * 2
+		old := binary.BigEndian.Uint16(data[i : i+2])
+		cs := Checksum(data)
+		binary.BigEndian.PutUint16(data[i:i+2], repl)
+		want := Checksum(data)
+		got := checksumUpdate(cs, old, repl)
+		// 0x0000 and 0xffff are equivalent in one's complement; Checksum
+		// never yields 0xffff→0 mismatches on real headers, but the property
+		// must tolerate the representation difference.
+		return got == want || (got == 0 && want == 0xffff) || (got == 0xffff && want == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildParseQuickProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(payLen uint16, sport, dport uint16, a, b, c, d byte) bool {
+		n := int(payLen) % 1200
+		pay := make([]byte, n)
+		rng.Read(pay)
+		p, err := BuildUDP(UDPSpec{
+			SrcMAC: macA, DstMAC: macB,
+			Src: Addr4(a, b, c, d), Dst: ipB,
+			SrcPort: sport, DstPort: dport, Payload: pay,
+		})
+		if err != nil {
+			return false
+		}
+		if !p.VerifyIPChecksum() || !p.VerifyL4Checksum() {
+			return false
+		}
+		return bytes.Equal(p.Payload(), pay) &&
+			p.UDP.SrcPort == sport && p.UDP.DstPort == dport
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailerQuickProperty(t *testing.T) {
+	f := func(body []byte) bool {
+		if len(body) > 60000 {
+			body = body[:60000]
+		}
+		p := mustUDPQuick(body)
+		if p == nil {
+			return false
+		}
+		if err := p.SetTrailer(body); err != nil {
+			return false
+		}
+		got := p.Trailer()
+		return bytes.Equal(got, body) && p.VerifyIPChecksum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustUDPQuick(seed []byte) *Packet {
+	p, err := BuildUDP(UDPSpec{
+		SrcMAC: macA, DstMAC: macB, Src: ipA, Dst: ipB,
+		SrcPort: 1, DstPort: 2, Payload: []byte("q"), Headroom: len(seed) + 16,
+	})
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+func BenchmarkParse(b *testing.B) {
+	p := mustUDP(b, bytes.Repeat([]byte{1}, 242))
+	buf := p.Buf
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q Packet
+		q.Buf = buf
+		if err := q.Reparse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNATRewrite(b *testing.B) {
+	p := mustUDP(b, bytes.Repeat([]byte{1}, 242))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SetIPSrc(Addr4(8, 8, 8, byte(i)))
+		p.SetSrcPort(uint16(i))
+	}
+}
+
+func BenchmarkSetTrailer(b *testing.B) {
+	p := mustUDP(b, bytes.Repeat([]byte{1}, 242))
+	body := bytes.Repeat([]byte{2}, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.SetTrailer(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTCPWithOptionsRoundTrip(t *testing.T) {
+	opts := []byte{2, 4, 5, 180} // MSS option
+	tc := TCP{
+		SrcPort: 80, DstPort: 8080, Seq: 1, Ack: 2,
+		DataOffset: 6, Flags: TCPSyn, Window: 512, Options: opts,
+	}
+	b := make([]byte, 24)
+	if err := EncodeTCP(b, &tc); err != nil {
+		t.Fatal(err)
+	}
+	var d TCP
+	if err := DecodeTCP(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.Options, opts) {
+		t.Fatalf("options = %x", d.Options)
+	}
+	if d.HeaderLen() != 24 {
+		t.Fatalf("header len = %d", d.HeaderLen())
+	}
+}
+
+func TestTCPMalformed(t *testing.T) {
+	var d TCP
+	if err := DecodeTCP(make([]byte, 10), &d); err != ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	b := make([]byte, 20)
+	b[12] = 4 << 4 // DataOffset below minimum
+	if err := DecodeTCP(b, &d); err != ErrBadHeader {
+		t.Fatalf("offset: %v", err)
+	}
+	bad := TCP{DataOffset: 4}
+	if err := EncodeTCP(make([]byte, 20), &bad); err != ErrBadHeader {
+		t.Fatalf("encode offset: %v", err)
+	}
+	inconsistent := TCP{DataOffset: 6, Options: nil}
+	if err := EncodeTCP(make([]byte, 24), &inconsistent); err != ErrBadHeader {
+		t.Fatalf("encode options: %v", err)
+	}
+}
+
+func TestDecTTLToZero(t *testing.T) {
+	p, err := BuildUDP(UDPSpec{
+		SrcMAC: macA, DstMAC: macB, Src: ipA, Dst: ipB,
+		SrcPort: 1, DstPort: 2, TTL: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DecTTL() {
+		t.Fatal("TTL 1→0 should report expiry")
+	}
+	if !p.VerifyIPChecksum() {
+		t.Fatal("checksum invalid after expiry decrement")
+	}
+	if p.DecTTL() {
+		t.Fatal("TTL already 0 should not decrement")
+	}
+}
+
+func TestRSSHashEdgeCases(t *testing.T) {
+	if RSSHash(nil) != 0 {
+		t.Fatal("nil frame")
+	}
+	if RSSHash(make([]byte, 20)) != 0 {
+		t.Fatal("short frame")
+	}
+	arp := make([]byte, 60)
+	binary.BigEndian.PutUint16(arp[12:14], EtherTypeARP)
+	if RSSHash(arp) != 0 {
+		t.Fatal("non-IPv4 frame")
+	}
+	p := mustUDP(t, []byte("x"))
+	h1 := RSSHash(p.Buf)
+	if h1 == 0 {
+		t.Fatal("valid frame hashed to 0")
+	}
+	if h1 != RSSHash(p.Buf) {
+		t.Fatal("hash not deterministic")
+	}
+	// Different ports → (almost surely) different queues over many flows.
+	diffs := 0
+	for i := 0; i < 32; i++ {
+		q, err := BuildUDP(UDPSpec{
+			SrcMAC: macA, DstMAC: macB, Src: ipA, Dst: ipB,
+			SrcPort: uint16(1000 + i), DstPort: 80,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if RSSHash(q.Buf) != h1 {
+			diffs++
+		}
+	}
+	if diffs < 16 {
+		t.Fatalf("flow hashing too collision-prone: %d/32 distinct", diffs)
+	}
+	if RSSSelector(p.Buf, 1) != 0 {
+		t.Fatal("single queue must select 0")
+	}
+	if q := RSSSelector(p.Buf, 4); q < 0 || q > 3 {
+		t.Fatalf("selector out of range: %d", q)
+	}
+}
+
+func TestTransportChecksumUDPZeroRule(t *testing.T) {
+	// A segment whose checksum computes to 0 must be transmitted as 0xffff.
+	// Construct by brute force: find a payload making the sum zero.
+	for i := 0; i < 65536; i++ {
+		seg := make([]byte, 10)
+		binary.BigEndian.PutUint16(seg[8:10], uint16(i))
+		if TransportChecksum(ipA, ipB, ProtoUDP, seg) == 0xffff {
+			return // found the wrap value; rule exercised
+		}
+	}
+	t.Skip("no zero-sum payload found (unexpected but harmless)")
+}
