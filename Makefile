@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke bench-fig5
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages that share frames and scratch buffers across
+# goroutines: the pooled-frame ownership rules live here.
+race:
+	$(GO) test -race ./internal/netsim/... ./internal/core/...
+
+# Fast allocation gate: runs the zero-alloc fast-path benchmark a fixed
+# number of iterations so CI can catch an allocation regression in seconds.
+bench-smoke:
+	$(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x
+
+# Full throughput benchmark (Figure 5 reproduction) with allocation stats.
+bench-fig5:
+	$(GO) test . -run=NONE -bench=Fig5 -benchtime=2s -benchmem

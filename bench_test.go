@@ -33,6 +33,7 @@ func pump(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int, packe
 
 	const window = 512
 	start := time.Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	sent := uint64(0)
 	for sent < uint64(b.N) {
@@ -159,6 +160,7 @@ func closedLoop(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int)
 		b.Fatal(err)
 	}
 	defer s.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Gen.SendOne(i)
@@ -226,6 +228,7 @@ func BenchmarkFig12(b *testing.B) {
 func pumpSUT(b *testing.B, s *exp.SUT) {
 	b.Helper()
 	const window = 512
+	b.ReportAllocs()
 	start := time.Now()
 	sent := uint64(0)
 	for sent < uint64(b.N) {

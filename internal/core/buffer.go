@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"github.com/ftsfc/ftc/internal/netsim"
 	"github.com/ftsfc/ftc/internal/wire"
 )
 
@@ -18,8 +19,11 @@ type egressBuffer struct {
 }
 
 type heldPacket struct {
-	frame []byte // the finalized packet, ready for release
-	logs  []Log  // this packet's logs still awaiting commit confirmation
+	frame []byte // the finalized packet, ready for release (buffer-owned)
+	// logs are this packet's logs still awaiting commit confirmation.
+	// Vec-only clones: the release rule needs MB, Flags and Vec, so the
+	// updates (and the decode scratch backing them) are not retained.
+	logs []Log
 }
 
 func newEgressBuffer() *egressBuffer { return &egressBuffer{} }
@@ -32,8 +36,10 @@ func (b *egressBuffer) len() int {
 
 // bufferStage runs the chain-egress pipeline on the last ring node: it
 // transfers the packet's remaining piggyback message to the forwarder,
-// then holds or releases the packet per the §5.1 release rule.
-func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) {
+// then holds or releases the packet per the §5.1 release rule. The return
+// value reports whether the buffer took ownership of pkt.Buf (held it);
+// held frames are recycled by tryRelease once they egress.
+func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) bool {
 	// Transfer wrapped logs and in-flight commit vectors to the forwarder
 	// so they continue around the ring (the paper ships these on a
 	// dedicated link between the last and first servers). The buffer also
@@ -62,9 +68,16 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) {
 			Logs:    msg.Logs,
 			Commits: commits,
 		}
-		carrier := r.carrierFrom(transfer.LenEstimate())
-		if err := carrier.SetTrailer(transfer.Encode(make([]byte, 0, transfer.LenEstimate()))); err == nil {
-			_ = r.sim.Send(r.ringID(0), carrier.Buf)
+		// Encode straight onto a pooled copy of the carrier template: no
+		// header build, no packet parse, no intermediate trailer body.
+		tmpl := r.carrierTemplate()
+		buf := netsim.AcquireFrame(len(tmpl) + transfer.LenEstimate() + 8)[:len(tmpl)]
+		copy(buf, tmpl)
+		if out, err := wire.AppendRawTrailer(buf, transfer); err == nil {
+			_ = r.sim.Send(r.ringID(0), out)
+			netsim.ReleaseFrame(out)
+		} else {
+			netsim.ReleaseFrame(buf)
 		}
 	}
 
@@ -72,27 +85,33 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) {
 		// Propagating packets die at the buffer after their commits have
 		// been merged (step 1 of processPacket).
 		r.maybeRelease()
-		return
+		return false
 	}
 
-	// Finalize the data packet: strip the trailer and the FTC IP option.
-	pkt.StripTrailer()
+	// Finalize the data packet: drop the trailer and the FTC IP option.
+	pkt.DropTrailer()
 	if err := pkt.RemoveFTCOption(); err != nil {
 		r.stats.ParseErrors.Add(1)
-		return
+		return false
 	}
 
 	// Fast path: everything this packet needs may already be committed.
 	if r.releasable(msg.Logs) {
 		r.release(pkt.Buf)
 		r.maybeRelease()
-		return
+		return false
 	}
 	r.stats.Held.Add(1)
+	heldLogs := make([]Log, len(msg.Logs))
+	for i := range msg.Logs {
+		l := &msg.Logs[i]
+		heldLogs[i] = Log{MB: l.MB, Flags: l.Flags, Vec: l.Vec.Clone()}
+	}
 	r.buf.mu.Lock()
-	r.buf.held = append(r.buf.held, heldPacket{frame: pkt.Buf, logs: msg.Logs})
+	r.buf.held = append(r.buf.held, heldPacket{frame: pkt.Buf, logs: heldLogs})
 	r.buf.mu.Unlock()
 	r.maybeRelease()
+	return true
 }
 
 // releasable reports whether every log is covered by the replica's merged
@@ -152,6 +171,9 @@ func (r *Replica) tryRelease() {
 	r.buf.mu.Unlock()
 	for _, frame := range ready {
 		r.release(frame)
+		// The buffer was the frame's sole owner; release copied it into the
+		// egress queue, so the buffer can go back to the frame pool.
+		netsim.ReleaseFrame(frame)
 	}
 }
 

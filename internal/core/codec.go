@@ -91,6 +91,20 @@ func (d *decoder) log() (Log, error) {
 	if err != nil {
 		return l, err
 	}
+	if d.sc != nil && nu > 0 {
+		start := len(d.sc.upds)
+		for j := 0; j < int(nu); j++ {
+			u, err := d.update()
+			if err != nil {
+				return l, err
+			}
+			d.sc.upds = append(d.sc.upds, u)
+		}
+		// Full slice expression: later arena appends must not overwrite
+		// this log's updates.
+		l.Updates = d.sc.upds[start:len(d.sc.upds):len(d.sc.upds)]
+		return l, nil
+	}
 	for j := 0; j < int(nu); j++ {
 		u, err := d.update()
 		if err != nil {

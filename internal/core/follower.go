@@ -25,7 +25,9 @@ type Follower struct {
 	max   []uint64
 
 	notifyMu sync.Mutex
-	notify   chan struct{} // closed and replaced whenever MAX advances
+	// notify is closed when MAX advances and lazily recreated by the next
+	// waiter, so the in-order fast path (no one waiting) allocates nothing.
+	notify chan struct{}
 }
 
 // ApplyOutcome reports what Apply did with a log.
@@ -44,12 +46,11 @@ const (
 // NewFollower creates a follower replica for middlebox mb.
 func NewFollower(mb uint16, store state.Backend) *Follower {
 	return &Follower{
-		mb:     mb,
-		store:  store,
-		buf:    newLogBuffer(),
-		locks:  make([]sync.Mutex, store.NumPartitions()),
-		max:    make([]uint64, store.NumPartitions()),
-		notify: make(chan struct{}),
+		mb:    mb,
+		store: store,
+		buf:   newLogBuffer(),
+		locks: make([]sync.Mutex, store.NumPartitions()),
+		max:   make([]uint64, store.NumPartitions()),
 	}
 }
 
@@ -99,9 +100,13 @@ func (f *Follower) Apply(l Log) ApplyOutcome {
 		// installing again would be idempotent but advancing is not needed.
 		return Duplicate
 	}
-	f.store.Apply(l.Updates)
+	// The decoder hands each update a freshly allocated value that nothing
+	// mutates afterwards, so the store takes ownership instead of copying.
+	f.store.ApplyOwned(l.Updates)
 	l.Vec.AdvanceInto(f.max)
-	f.buf.add(l)
+	// The log's Vec/Updates arrays may live in a per-worker decode scratch;
+	// clone them before the retransmission buffer outlives the packet.
+	f.buf.add(l.Retain())
 	f.wake()
 	return Applied
 }
@@ -118,14 +123,19 @@ func (v SparseVec) SupersededByAny(max []uint64) bool {
 
 func (f *Follower) wake() {
 	f.notifyMu.Lock()
-	close(f.notify)
-	f.notify = make(chan struct{})
+	if f.notify != nil {
+		close(f.notify)
+		f.notify = nil
+	}
 	f.notifyMu.Unlock()
 }
 
 func (f *Follower) notifyCh() chan struct{} {
 	f.notifyMu.Lock()
 	defer f.notifyMu.Unlock()
+	if f.notify == nil {
+		f.notify = make(chan struct{})
+	}
 	return f.notify
 }
 

@@ -43,7 +43,9 @@ func (f *forwarder) addTransfer(m *Message) {
 		if f.committedLocked(l) {
 			continue
 		}
-		f.pending = append(f.pending, pendingLog{log: l})
+		// The message may be backed by a per-worker decode scratch that is
+		// reused on the next frame; pending logs outlive it, so clone.
+		f.pending = append(f.pending, pendingLog{log: l.Retain()})
 	}
 	f.prune()
 }
@@ -103,12 +105,15 @@ func (f *forwarder) take(now time.Time, resendAfter time.Duration) ([]Log, []Com
 		}
 	}
 	var commits []Commit
-	for mb, v := range f.commits {
-		commits = append(commits, Commit{MB: mb, Vec: v})
+	if len(f.commits) > 0 {
+		for mb, v := range f.commits {
+			commits = append(commits, Commit{MB: mb, Vec: v})
+		}
+		// Commits are re-injected once; tails refresh them on every packet,
+		// so holding them longer only bloats messages. Clearing keeps the
+		// map's buckets instead of reallocating them every take.
+		clear(f.commits)
 	}
-	// Commits are re-injected once; tails refresh them on every packet, so
-	// holding them longer only bloats messages.
-	f.commits = make(map[uint16]SparseVec)
 	return logs, commits
 }
 

@@ -62,8 +62,9 @@ type Replica struct {
 
 	tailTick     atomic.Uint32 // commit dissemination throttle (§4.1 "periodically")
 	lastCommit   atomic.Int64  // unix nanos of the last disseminated commit
-	carrier      []byte        // prebuilt carrier frame template
-	releaseDirty atomic.Bool   // new wrapped-group commits since last release scan
+	carrierOnce  sync.Once
+	carrier      []byte      // prebuilt carrier frame template
+	releaseDirty atomic.Bool // new wrapped-group commits since last release scan
 
 	stats    Stats
 	stopOnce sync.Once
@@ -153,12 +154,17 @@ func (r *Replica) Start() {
 		r.wg.Add(1)
 		go func(q int) {
 			defer r.wg.Done()
+			fp := &fastPath{}
 			for {
 				in, ok := r.sim.Recv(q)
 				if !ok {
 					return
 				}
-				r.handleFrame(in)
+				if !r.handleFrame(in, fp) {
+					// The frame was not retained by any pipeline stage:
+					// recycle it into the fabric's frame pool.
+					netsim.ReleaseFrame(in.Frame)
+				}
 			}
 		}(q)
 	}
@@ -203,52 +209,78 @@ func (r *Replica) SetRoute(i int, id netsim.NodeID) {
 	r.routeMu.Unlock()
 }
 
-func (r *Replica) handleFrame(in netsim.Inbound) {
+// fastPath is the per-worker scratch state that makes steady-state frame
+// handling allocation-free: the packet view, the piggyback decode arenas,
+// and the ingress message header are all reused across frames. One worker
+// goroutine owns each fastPath; none of it is shared.
+type fastPath struct {
+	pkt     wire.Packet
+	dec     MsgScratch
+	ingress Message // reused header for raw-ingress packets
+}
+
+// handleFrame runs one inbound frame through the replica pipeline. It
+// reports whether some stage retained ownership of in.Frame (only the
+// egress buffer does, when it holds the packet); unretained frames go back
+// to the frame pool.
+func (r *Replica) handleFrame(in netsim.Inbound, fp *fastPath) bool {
 	r.stats.RxFrames.Add(1)
-	pkt, err := wire.Parse(in.Frame)
-	if err != nil {
+	pkt := &fp.pkt
+	if err := wire.ParseInto(pkt, in.Frame); err != nil {
 		r.stats.ParseErrors.Add(1)
-		return
+		return false
 	}
 	var msg *Message
 	if tr := pkt.Trailer(); tr != nil {
-		msg, err = DecodeMessage(tr)
+		m, err := fp.dec.Decode(tr)
 		if err != nil {
 			r.stats.ParseErrors.Add(1)
-			return
+			return false
 		}
+		msg = m
 	}
 	gen := r.gen.Load()
 	if msg == nil {
 		// External ingress: only the forwarder admits raw packets.
 		if r.fwd == nil {
 			r.stats.ParseErrors.Add(1)
-			return
+			return false
 		}
 		logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter)
-		msg = &Message{Gen: gen, Logs: logs, Commits: commits}
+		msg = &fp.ingress
+		// Copy into the reused ingress arrays so the head-log append below
+		// stays within amortized capacity instead of reallocating per packet.
+		msg.Flags = 0
+		msg.Gen = gen
+		msg.Logs = append(msg.Logs[:0], logs...)
+		msg.Commits = append(msg.Commits[:0], commits...)
 		if err := pkt.InsertFTCOption(); err != nil {
 			r.stats.ParseErrors.Add(1)
-			return
+			return false
 		}
 	} else {
 		if msg.Gen != gen {
 			r.stats.StaleGen.Add(1)
-			return
+			return false
 		}
 		if msg.Flags&FlagBufferTransfer != 0 {
 			if r.fwd != nil {
 				r.fwd.addTransfer(msg)
 				r.pruneFromCommits(msg.Commits)
 			}
-			return
+			return false
 		}
 	}
-	r.processPacket(pkt, msg)
+	held := r.processPacket(pkt, msg)
+	// The buffer held pkt.Buf; in.Frame is retained only if they are still
+	// the same array (an in-header insert or trailer append can reallocate,
+	// leaving in.Frame free to recycle while the buffer owns the copy).
+	return held && len(in.Frame) > 0 && len(pkt.Buf) > 0 && &pkt.Buf[0] == &in.Frame[0]
 }
 
 // processPacket runs the full §5.1 pipeline for one packet at this replica.
-func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) {
+// It reports whether the egress buffer took ownership of pkt.Buf.
+func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 	// 1. Commit vectors: merge for pruning and buffer release. A commit
 	// rides the full ring — through the buffer→forwarder transfer when the
 	// group wraps — so every member and the buffer see it; it retires when
@@ -309,7 +341,7 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) {
 			// propagating packet generated by this head (§5.1).
 			msg.Flags |= FlagPropagating
 			r.emitPropagating(msg)
-			return
+			return false
 		}
 	}
 
@@ -335,14 +367,17 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) {
 
 	// 5. Forward along the chain, or run the buffer at the chain's end.
 	if r.buf != nil {
-		r.bufferStage(pkt, msg)
-		return
+		return r.bufferStage(pkt, msg)
 	}
 	r.forward(pkt, msg)
+	return false
 }
 
 func (r *Replica) forward(pkt *wire.Packet, msg *Message) {
-	if err := pkt.SetTrailer(msg.Encode(make([]byte, 0, msg.LenEstimate()))); err != nil {
+	// Encode the trailer by appending straight onto the frame: no
+	// intermediate body buffer, and on pooled frames with headroom no
+	// allocation at all.
+	if err := pkt.AppendTrailer(msg); err != nil {
 		r.stats.ParseErrors.Add(1)
 		return
 	}
@@ -447,11 +482,13 @@ func (r *Replica) emitPropagating(msg *Message) {
 	r.stats.Propagating.Add(1)
 	if r.buf != nil {
 		// Last node: the propagating content goes straight to the buffer
-		// stage (nothing further down the chain).
+		// stage (nothing further down the chain). Propagating packets are
+		// never held, so the carrier frame is ours to recycle.
 		r.bufferStage(pkt, msg)
-		return
+	} else {
+		r.forward(pkt, msg)
 	}
-	r.forward(pkt, msg)
+	netsim.ReleaseFrame(pkt.Buf)
 }
 
 // propagateLoop is the forwarder's idle timer (§5.1): when traffic pauses,
@@ -498,14 +535,21 @@ func (r *Replica) commitStale() bool {
 	return r.lastCommit.CompareAndSwap(last, now)
 }
 
-// carrierFrom builds a carrier packet from the replica's prebuilt template,
-// avoiding a full header build + checksum per control frame.
+// carrierTemplate returns the replica's prebuilt carrier frame (built once;
+// the lazy init used to race when two workers emitted carriers at once).
+func (r *Replica) carrierTemplate() []byte {
+	r.carrierOnce.Do(func() { r.carrier = mustCarrier().Buf })
+	return r.carrier
+}
+
+// carrierFrom builds a carrier packet from the replica's prebuilt template
+// on a pooled frame sized for the trailer, avoiding a full header build +
+// checksum + allocation per control frame. The caller owns the frame and
+// recycles it via netsim.ReleaseFrame once it is copied into the fabric.
 func (r *Replica) carrierFrom(trailerCap int) *wire.Packet {
-	if r.carrier == nil {
-		r.carrier = mustCarrier().Buf
-	}
-	buf := make([]byte, len(r.carrier), len(r.carrier)+trailerCap+8)
-	copy(buf, r.carrier)
+	tmpl := r.carrierTemplate()
+	buf := netsim.AcquireFrame(len(tmpl) + trailerCap + 8)[:len(tmpl)]
+	copy(buf, tmpl)
 	p, err := wire.Parse(buf)
 	if err != nil {
 		panic("core: carrier template unparseable: " + err.Error())

@@ -223,6 +223,8 @@ func (st *stage) start() {
 					return
 				}
 				st.masterHandle(in.Frame)
+				// masterHandle forwards copies; the inbound frame is dead here.
+				netsim.ReleaseFrame(in.Frame)
 			}
 		}(q)
 	}
@@ -301,7 +303,7 @@ func (st *stage) masterHandle(frame []byte) {
 		st.errs.Add(1)
 		return
 	}
-	pkt.StripTrailer() // drop upstream framing; middlebox sees a clean packet
+	pkt.DropTrailer() // drop upstream framing; middlebox sees a clean packet
 
 	var verdict core.Verdict
 	res, err := st.store.Exec(func(tx state.Txn) error {

@@ -95,6 +95,7 @@ type Gen struct {
 	name      string
 	stateSize int
 	keys      int
+	keyNames  []string // precomputed "gen-<i>": no per-packet formatting
 }
 
 // NewGen creates a Gen writing stateSize bytes per packet across keys
@@ -106,7 +107,11 @@ func NewGen(stateSize, keys int) *Gen {
 	if keys < 1 {
 		keys = 1
 	}
-	return &Gen{name: fmt.Sprintf("Gen(state=%dB)", stateSize), stateSize: stateSize, keys: keys}
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("gen-%d", i)
+	}
+	return &Gen{name: fmt.Sprintf("Gen(state=%dB)", stateSize), stateSize: stateSize, keys: keys, keyNames: names}
 }
 
 // Name implements core.Middlebox.
@@ -115,11 +120,11 @@ func (g *Gen) Name() string { return g.name }
 // Process writes stateSize bytes derived from the packet into one of the
 // configured keys.
 func (g *Gen) Process(pkt *wire.Packet, tx state.Txn) (core.Verdict, error) {
-	key := fmt.Sprintf("gen-%d", wire.RSSHash(pkt.Buf)%uint64(g.keys))
+	seed := wire.RSSHash(pkt.Buf)
+	key := g.keyNames[seed%uint64(g.keys)]
 	val := make([]byte, g.stateSize)
 	// Derive deterministic contents from the packet so replicas can be
 	// compared byte-for-byte in tests.
-	seed := wire.RSSHash(pkt.Buf)
 	for i := range val {
 		val[i] = byte(seed >> (uint(i%8) * 8))
 	}

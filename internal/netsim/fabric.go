@@ -7,8 +7,9 @@
 // while exercising the identical protocol code paths. Frames are raw byte
 // slices; delivery copies them so each node owns its buffers, like a real
 // NIC ring. Links with zero latency and unlimited bandwidth take a direct
-// enqueue fast path so throughput benchmarks measure protocol cost rather
-// than timer overhead.
+// enqueue fast path — no per-link mutex, no timer — so throughput benchmarks
+// measure protocol cost rather than simulator overhead. Delivery buffers are
+// pooled (see pool.go); receivers may return them with ReleaseFrame.
 package netsim
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,13 +56,30 @@ func (p LinkProfile) needsScheduling() bool {
 	return p.Latency > 0 || p.Jitter > 0 || p.ReorderRate > 0 || p.BandwidthBps > 0
 }
 
+// fastPath reports whether a frame on this link can be enqueued directly:
+// no drop decision, no delay computation, so no need for the link mutex or
+// its rng.
+func (p *LinkProfile) fastPath() bool {
+	return !p.Down && p.MTU == 0 && p.LossRate == 0 && !p.needsScheduling()
+}
+
 type linkKey struct{ src, dst NodeID }
 
+// link is a stable per-(src,dst) object: SetLink swaps the profile pointer
+// in place rather than replacing the link, so per-node route caches holding
+// *link stay valid across reconfiguration. The mutex guards only the rng and
+// the bandwidth clock, which the profile fast path never touches.
 type link struct {
+	profile  atomic.Pointer[LinkProfile]
 	mu       sync.Mutex
-	profile  LinkProfile
 	rng      *rand.Rand
 	nextFree time.Time // bandwidth serialization clock
+}
+
+// route is a resolved (link, destination) pair cached per sender node.
+type route struct {
+	l *link
+	n *Node
 }
 
 // Config configures a Fabric.
@@ -77,7 +96,7 @@ type Fabric struct {
 	cfg     Config
 	nodes   map[NodeID]*Node
 	links   map[linkKey]*link
-	stopped bool
+	stopped atomic.Bool
 	seedCtr int64
 
 	// Stats
@@ -86,21 +105,16 @@ type Fabric struct {
 
 // Counter64 is a tiny atomic counter used for fabric statistics.
 type Counter64 struct {
-	mu sync.Mutex
-	v  uint64
+	v atomic.Uint64
 }
 
 func (c *Counter64) inc() {
-	c.mu.Lock()
-	c.v++
-	c.mu.Unlock()
+	c.v.Add(1)
 }
 
 // Value reports the current count.
 func (c *Counter64) Value() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
+	return c.v.Load()
 }
 
 // New creates an empty fabric.
@@ -141,6 +155,14 @@ func (f *Fabric) RemoveNode(id NodeID) {
 	if n != nil {
 		n.Crash()
 	}
+	// Purge route caches after the crash flag is visible: a sender hitting a
+	// stale entry sees the crashed node and falls back to slow resolution,
+	// which now reports ErrUnknownNode.
+	f.mu.RLock()
+	for _, other := range f.nodes {
+		other.routes.Delete(id)
+	}
+	f.mu.RUnlock()
 }
 
 // Node returns the named node, or nil.
@@ -150,15 +172,12 @@ func (f *Fabric) Node(id NodeID) *Node {
 	return f.nodes[id]
 }
 
-// SetLink sets the profile of the directional link src→dst.
+// SetLink sets the profile of the directional link src→dst. The link object
+// (and its rng) is reused if it already exists, so cached routes observe the
+// new profile on their next frame.
 func (f *Fabric) SetLink(src, dst NodeID, p LinkProfile) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.seedCtr++
-	f.links[linkKey{src, dst}] = &link{
-		profile: p,
-		rng:     rand.New(rand.NewSource(f.cfg.Seed + f.seedCtr)),
-	}
+	l := f.getLink(src, dst)
+	l.profile.Store(&p)
 }
 
 // SetLinkBoth sets the profile in both directions.
@@ -181,10 +200,9 @@ func (f *Fabric) getLink(src, dst NodeID) *link {
 		return l
 	}
 	f.seedCtr++
-	l = &link{
-		profile: f.cfg.DefaultLink,
-		rng:     rand.New(rand.NewSource(f.cfg.Seed + f.seedCtr)),
-	}
+	l = &link{rng: rand.New(rand.NewSource(f.cfg.Seed + f.seedCtr))}
+	p := f.cfg.DefaultLink
+	l.profile.Store(&p)
 	f.links[linkKey{src, dst}] = l
 	return l
 }
@@ -198,27 +216,48 @@ func (f *Fabric) Send(src, dst NodeID, frame []byte) error {
 	return f.send(src, dst, frame, false)
 }
 
+// send resolves the destination and link without a route cache; node-level
+// sends go through Node.sendCached instead.
 func (f *Fabric) send(src, dst NodeID, frame []byte, block bool) error {
-	f.mu.RLock()
-	stopped := f.stopped
-	n := f.nodes[dst]
-	f.mu.RUnlock()
-	if stopped {
+	if f.stopped.Load() {
 		return ErrFabricDown
 	}
+	f.mu.RLock()
+	n := f.nodes[dst]
+	f.mu.RUnlock()
 	if n == nil {
 		return ErrUnknownNode
 	}
+	f.transmit(f.getLink(src, dst), n, src, frame, block)
+	return nil
+}
+
+// transmit applies the link profile and delivers one frame. The common case
+// (zero profile: no loss, no shaping, link up) touches no locks beyond the
+// destination queue and allocates nothing when the pool has a buffer.
+func (f *Fabric) transmit(l *link, n *Node, src NodeID, frame []byte, block bool) {
 	f.sent.inc()
-	l := f.getLink(src, dst)
+	p := l.profile.Load()
+	if p.fastPath() {
+		if !block && n.full(frame) {
+			// Fast-path tail drop before paying for the frame copy: an
+			// overloaded blast workload would otherwise spend most of one
+			// core copying frames that are immediately discarded.
+			f.dropped.inc()
+			return
+		}
+		buf := AcquireFrame(len(frame))
+		copy(buf, frame)
+		f.deliver(n, src, buf, block)
+		return
+	}
 
 	l.mu.Lock()
-	p := l.profile
 	if p.Down || (p.MTU > 0 && len(frame) > p.MTU) ||
 		(p.LossRate > 0 && l.rng.Float64() < p.LossRate) {
 		l.mu.Unlock()
 		f.lost.inc()
-		return nil
+		return
 	}
 	var delay time.Duration
 	if p.needsScheduling() {
@@ -242,23 +281,19 @@ func (f *Fabric) send(src, dst NodeID, frame []byte, block bool) error {
 	l.mu.Unlock()
 
 	if delay <= 0 && !block && n.full(frame) {
-		// Fast-path tail drop before paying for the frame copy: an
-		// overloaded blast workload would otherwise spend most of one core
-		// copying frames that are immediately discarded.
 		f.dropped.inc()
-		return nil
+		return
 	}
-	buf := make([]byte, len(frame))
+	buf := AcquireFrame(len(frame))
 	copy(buf, frame)
 
 	if delay <= 0 {
 		f.deliver(n, src, buf, block)
-		return nil
+		return
 	}
 	// Scheduled deliveries never block: a timer goroutine stalling on a
 	// full queue would reorder the link arbitrarily.
 	time.AfterFunc(delay, func() { f.deliver(n, src, buf, false) })
-	return nil
 }
 
 func (f *Fabric) deliver(n *Node, from NodeID, frame []byte, block bool) {
@@ -266,13 +301,17 @@ func (f *Fabric) deliver(n *Node, from NodeID, frame []byte, block bool) {
 		f.delivered.inc()
 	} else {
 		f.dropped.inc()
+		// The frame never reached a receiver; recycle it here. This covers
+		// both the direct path and time.AfterFunc deliveries to full or
+		// crashed queues.
+		ReleaseFrame(frame)
 	}
 }
 
 // Stop shuts the fabric down: all sends fail and all nodes crash.
 func (f *Fabric) Stop() {
+	f.stopped.Store(true)
 	f.mu.Lock()
-	f.stopped = true
 	nodes := make([]*Node, 0, len(f.nodes))
 	for _, n := range f.nodes {
 		nodes = append(nodes, n)

@@ -392,9 +392,11 @@ func BenchmarkSendRecvFastPath(b *testing.B) {
 	done := make(chan struct{})
 	go func() {
 		for i := 0; i < b.N; i++ {
-			if _, ok := dst.Recv(0); !ok {
+			in, ok := dst.Recv(0)
+			if !ok {
 				return
 			}
+			ReleaseFrame(in.Frame)
 		}
 		close(done)
 	}()
@@ -404,7 +406,7 @@ func BenchmarkSendRecvFastPath(b *testing.B) {
 		for dst.QueueLen(0) >= 4000 { // avoid tail drops; the bench needs every frame
 			runtime.Gosched()
 		}
-		if err := f.Send("src", "dst", frame); err != nil {
+		if err := src.Send("dst", frame); err != nil {
 			b.Fatal(err)
 		}
 	}

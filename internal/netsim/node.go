@@ -36,6 +36,11 @@ type Node struct {
 	crashOn  sync.Once
 	crashCh  chan struct{} // closed on Crash; queues are never closed
 
+	// routes caches resolved destinations so steady-state sends skip the
+	// fabric's node map and its RWMutex. Entries are purged by RemoveNode;
+	// stale hits (crashed destination) fall back to slow resolution.
+	routes sync.Map // NodeID → *route
+
 	rpcMu    sync.RWMutex
 	handlers map[string]RPCHandler
 }
@@ -144,10 +149,7 @@ func (n *Node) QueueLen(q int) int { return len(n.queues[q]) }
 
 // Send transmits a frame from this node (tail-drop on a full destination).
 func (n *Node) Send(dst NodeID, frame []byte) error {
-	if n.crashed.Load() {
-		return ErrNodeCrashed
-	}
-	return n.fabric.send(n.id, dst, frame, false)
+	return n.sendCached(dst, frame, false)
 }
 
 // SendBlocking transmits a frame, waiting for queue space at the
@@ -155,10 +157,46 @@ func (n *Node) Send(dst NodeID, frame []byte) error {
 // pipeline stages). On links with latency or bandwidth shaping, delivery is
 // scheduled and the call does not block.
 func (n *Node) SendBlocking(dst NodeID, frame []byte) error {
+	return n.sendCached(dst, frame, true)
+}
+
+// sendCached is the per-frame egress path: one atomic crash check, one
+// atomic stop check, and a route-cache hit replace the fabric's map lookup
+// and RWMutex on every steady-state send.
+func (n *Node) sendCached(dst NodeID, frame []byte, block bool) error {
 	if n.crashed.Load() {
 		return ErrNodeCrashed
 	}
-	return n.fabric.send(n.id, dst, frame, true)
+	f := n.fabric
+	if f.stopped.Load() {
+		return ErrFabricDown
+	}
+	if v, ok := n.routes.Load(dst); ok {
+		rt := v.(*route)
+		if !rt.n.crashed.Load() {
+			f.transmit(rt.l, rt.n, n.id, frame, block)
+			return nil
+		}
+		// The cached destination crashed. It may have been removed (and the
+		// purge raced with us) or even replaced by a new node under the same
+		// id — drop the entry and resolve from scratch.
+		n.routes.Delete(dst)
+	}
+	f.mu.RLock()
+	dn := f.nodes[dst]
+	f.mu.RUnlock()
+	if dn == nil {
+		return ErrUnknownNode
+	}
+	l := f.getLink(n.id, dst)
+	if !dn.crashed.Load() {
+		// Cache only live destinations: a crashed-but-present node keeps
+		// taking the slow path, preserving drop accounting without pinning a
+		// dead entry.
+		n.routes.Store(dst, &route{l: l, n: dn})
+	}
+	f.transmit(l, dn, n.id, frame, block)
+	return nil
 }
 
 // Crash fail-stops the node: receivers and blocked senders unblock, pending

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFramePoolAliasing hammers the pooled delivery path under loss,
+// reorder, jitter, and latency (the time.AfterFunc scheduled-delivery path)
+// plus a parallel zero-profile fast-path sender, while receivers hold each
+// frame across a scheduling point and verify its contents twice before
+// releasing. A pool bug that hands a frame to a new sender while a receiver
+// still reads it shows up as a pattern mismatch, and under -race as a data
+// race. Small ingress queues force tail drops so the deliver-side release
+// path runs concurrently too.
+func TestFramePoolAliasing(t *testing.T) {
+	const (
+		framesPerSender = 3000
+		frameLen        = 192
+	)
+	f := New(Config{Seed: 42})
+	defer f.Stop()
+	a := f.AddNode("a", NodeConfig{})
+	c := f.AddNode("c", NodeConfig{})
+	b := f.AddNode("b", NodeConfig{QueueCap: 64})
+	_ = a
+	_ = c
+	f.SetLink("a", "b", LinkProfile{
+		Latency:     200 * time.Microsecond,
+		Jitter:      200 * time.Microsecond,
+		LossRate:    0.2,
+		ReorderRate: 0.3,
+	})
+	// c→b keeps the default zero profile: direct enqueue, pooled recycle.
+
+	check := func(frame []byte) bool {
+		if len(frame) != frameLen {
+			return false
+		}
+		seq := binary.BigEndian.Uint64(frame)
+		fill := byte(seq*31 + 7)
+		for _, got := range frame[8:] {
+			if got != fill {
+				return false
+			}
+		}
+		return true
+	}
+
+	var stop sync.WaitGroup
+	stop.Add(1)
+	var got, bad int
+	go func() {
+		defer stop.Done()
+		for {
+			in, ok := b.Recv(0)
+			if !ok {
+				return
+			}
+			if !check(in.Frame) {
+				bad++
+			}
+			// Hold the frame across a scheduling point and read it again: if
+			// the fabric recycled it prematurely, the second read differs.
+			runtime.Gosched()
+			if !check(in.Frame) {
+				bad++
+			}
+			got++
+			ReleaseFrame(in.Frame)
+		}
+	}()
+
+	var senders sync.WaitGroup
+	for _, src := range []*Node{a, c} {
+		senders.Add(1)
+		go func(n *Node) {
+			defer senders.Done()
+			frame := make([]byte, frameLen)
+			for i := 0; i < framesPerSender; i++ {
+				seq := uint64(i)
+				binary.BigEndian.PutUint64(frame, seq)
+				fill := byte(seq*31 + 7)
+				for j := 8; j < frameLen; j++ {
+					frame[j] = fill
+				}
+				if err := n.Send("b", frame); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				// Scribble over the sender's buffer immediately: the fabric
+				// must have copied the frame, pooled or not.
+				for j := range frame {
+					frame[j] = 0xFF
+				}
+			}
+		}(src)
+	}
+	senders.Wait()
+
+	// Wait for scheduled (delayed) deliveries to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sent, delivered, dropped, lost := f.Stats()
+		if sent == delivered+dropped+lost && b.QueueLen(0) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deliveries did not drain: sent=%d delivered=%d dropped=%d lost=%d",
+				sent, delivered, dropped, lost)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond) // let the receiver finish its last frame
+	b.Crash()                        // unblock the receiver
+	stop.Wait()
+
+	if bad != 0 {
+		t.Fatalf("%d of %d received frames had corrupted contents (pool aliasing)", bad, got)
+	}
+	if got == 0 {
+		t.Fatal("receiver saw no frames")
+	}
+}
+
+// TestAfterFuncDeliveryToCrashedNode exercises the scheduled-delivery
+// release path: frames in flight on a latency link when the destination
+// crashes must be recycled without panicking or corrupting the pool.
+func TestAfterFuncDeliveryToCrashedNode(t *testing.T) {
+	f := New(Config{Seed: 1})
+	defer f.Stop()
+	a := f.AddNode("a", NodeConfig{})
+	b := f.AddNode("b", NodeConfig{})
+	f.SetLink("a", "b", LinkProfile{Latency: 2 * time.Millisecond})
+
+	frame := make([]byte, 128)
+	for i := 0; i < 200; i++ {
+		if err := a.Send("b", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Crash()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sent, delivered, dropped, lost := f.Stats()
+		if sent == delivered+dropped+lost {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight frames never resolved: sent=%d delivered=%d dropped=%d lost=%d",
+				sent, delivered, dropped, lost)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

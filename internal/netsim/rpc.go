@@ -39,13 +39,12 @@ func (n *Node) LookupRPC(name string) (RPCHandler, bool) {
 // the link's one-way latency, and calls to crashed nodes fail. The context
 // bounds the total call time.
 func (f *Fabric) Call(ctx context.Context, src, dst NodeID, name string, req []byte) ([]byte, error) {
-	f.mu.RLock()
-	stopped := f.stopped
-	n := f.nodes[dst]
-	f.mu.RUnlock()
-	if stopped {
+	if f.stopped.Load() {
 		return nil, ErrFabricDown
 	}
+	f.mu.RLock()
+	n := f.nodes[dst]
+	f.mu.RUnlock()
 	if n == nil {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, dst)
 	}
@@ -95,10 +94,7 @@ func (f *Fabric) Call(ctx context.Context, src, dst NodeID, name string, req []b
 // linkWait sleeps for the one-way latency of the src→dst link, honouring
 // partitions and context cancellation.
 func (f *Fabric) linkWait(ctx context.Context, src, dst NodeID) error {
-	l := f.getLink(src, dst)
-	l.mu.Lock()
-	p := l.profile
-	l.mu.Unlock()
+	p := *f.getLink(src, dst).profile.Load()
 	if p.Down {
 		return fmt.Errorf("netsim: link %s->%s down", src, dst)
 	}

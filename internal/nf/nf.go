@@ -121,6 +121,9 @@ func (n *Node) start() {
 					return
 				}
 				n.handle(in.Frame)
+				// handle never retains the frame (forwarding copies into the
+				// next hop's queue), so it can be recycled here.
+				netsim.ReleaseFrame(in.Frame)
 			}
 		}(q)
 	}

@@ -2,9 +2,10 @@ package state
 
 import (
 	"errors"
-	"hash/fnv"
 	"sort"
 	"sync"
+
+	"github.com/ftsfc/ftc/internal/hashx"
 )
 
 // OCCStore is an optimistic-concurrency alternative to the locking Store:
@@ -61,9 +62,7 @@ func (s *OCCStore) NumPartitions() int { return len(s.parts) }
 
 // PartitionOf maps a key to its partition (same mapping as Store).
 func (s *OCCStore) PartitionOf(key string) uint16 {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return uint16(h.Sum32() % uint32(len(s.parts)))
+	return uint16(hashx.Sum32String(key) % uint32(len(s.parts)))
 }
 
 // Get reads a key outside any transaction.
@@ -92,7 +91,8 @@ func (s *OCCStore) Len() int {
 	return n
 }
 
-// Apply installs replicated updates directly (follower path).
+// Apply installs replicated updates directly (follower path). Values are
+// copied; the caller keeps ownership of its buffers.
 func (s *OCCStore) Apply(updates []Update) {
 	for _, u := range updates {
 		p := &s.parts[int(u.Partition)%len(s.parts)]
@@ -104,6 +104,24 @@ func (s *OCCStore) Apply(updates []Update) {
 			copy(v, u.Value)
 			e := p.data[u.Key]
 			p.data[u.Key] = occEntry{val: v, version: e.version + 1}
+		}
+		p.version++
+		p.mu.Unlock()
+	}
+}
+
+// ApplyOwned is Apply with value-ownership transfer (see Store.ApplyOwned):
+// the store retains u.Value without copying. Callers must not modify the
+// value buffers afterwards.
+func (s *OCCStore) ApplyOwned(updates []Update) {
+	for _, u := range updates {
+		p := &s.parts[int(u.Partition)%len(s.parts)]
+		p.mu.Lock()
+		if u.Value == nil {
+			delete(p.data, u.Key)
+		} else {
+			e := p.data[u.Key]
+			p.data[u.Key] = occEntry{val: u.Value, version: e.version + 1}
 		}
 		p.version++
 		p.mu.Unlock()
@@ -249,10 +267,10 @@ func (t *occTxn) commit(onCommit func(Result)) (Result, error) {
 		if u.Value == nil {
 			delete(p.data, u.Key)
 		} else {
-			v := make([]byte, len(u.Value))
-			copy(v, u.Value)
+			// u.Value was copied at Put and is immutable from here on; the
+			// entry and the piggybacked update share it.
 			e := p.data[u.Key]
-			p.data[u.Key] = occEntry{val: v, version: e.version + 1}
+			p.data[u.Key] = occEntry{val: u.Value, version: e.version + 1}
 		}
 		p.version++
 		res.Updates = append(res.Updates, *u)

@@ -13,10 +13,11 @@ package state
 
 import (
 	"errors"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/ftsfc/ftc/internal/hashx"
 )
 
 // DefaultPartitions is the default state-partition count.
@@ -57,6 +58,7 @@ type Backend interface {
 	Get(key string) ([]byte, bool)
 	Len() int
 	Apply(updates []Update)
+	ApplyOwned(updates []Update)
 	Snapshot() []Update
 	Restore(updates []Update)
 	Exec(fn func(tx Txn) error) (Result, error)
@@ -102,11 +104,10 @@ func New(n int) *Store {
 func (s *Store) NumPartitions() int { return len(s.parts) }
 
 // PartitionOf maps a key to its partition index. All replicas of a
-// middlebox use the same mapping.
+// middlebox use the same mapping; hashx is bit-identical to the hash/fnv
+// implementation earlier versions used, so the mapping is stable.
 func (s *Store) PartitionOf(key string) uint16 {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return uint16(h.Sum32() % uint32(len(s.parts)))
+	return uint16(hashx.Sum32String(key) % uint32(len(s.parts)))
 }
 
 // Get reads a key outside any transaction. It is linearizable per key but
@@ -139,7 +140,8 @@ func (s *Store) Len() int {
 
 // Apply installs replicated updates directly, bypassing the transaction
 // layer. Followers call this once the dependency-vector logic has
-// established that the update is in order.
+// established that the update is in order. Values are copied; the caller
+// keeps ownership of its buffers.
 func (s *Store) Apply(updates []Update) {
 	for _, u := range updates {
 		p := &s.parts[int(u.Partition)%len(s.parts)]
@@ -150,6 +152,24 @@ func (s *Store) Apply(updates []Update) {
 			v := make([]byte, len(u.Value))
 			copy(v, u.Value)
 			p.data[u.Key] = v
+		}
+		p.mu.Unlock()
+	}
+}
+
+// ApplyOwned is Apply for callers that transfer ownership of the update
+// values: the store retains u.Value directly instead of copying it. The
+// piggyback decoder already allocates a private copy of every value, so the
+// follower apply path uses this to avoid copying each replicated update
+// twice. Callers must not modify the value buffers after the call.
+func (s *Store) ApplyOwned(updates []Update) {
+	for _, u := range updates {
+		p := &s.parts[int(u.Partition)%len(s.parts)]
+		p.mu.Lock()
+		if u.Value == nil {
+			delete(p.data, u.Key)
+		} else {
+			p.data[u.Key] = u.Value
 		}
 		p.mu.Unlock()
 	}

@@ -49,7 +49,7 @@ func (l *plock) acquire(t *lockTxn) error {
 		l.mu.Unlock()
 		select {
 		case <-ch:
-		case <-t.woundCh:
+		case <-t.woundChan():
 			return ErrWounded
 		}
 	}
@@ -69,36 +69,39 @@ func (l *plock) unlock(t *lockTxn) {
 // lockTxn is an in-flight two-phase-locking packet transaction. Not safe
 // for concurrent use by multiple goroutines — a packet is processed by one
 // thread.
+//
+// The bookkeeping is sized for the data plane: packet transactions touch a
+// handful of partitions, so the held set is a small slice (linear scan beats
+// a map allocation), the write map is created on the first write, and the
+// wound channel only materializes when a waiter or wounder needs it —
+// an uncontended read-write transaction allocates just the txn itself.
 type lockTxn struct {
 	store *Store
 	ts    uint64
 
-	woundMu   sync.Mutex
-	wounded   bool
-	woundCh   chan struct{}
-	done      bool
-	held      map[uint16]struct{}
-	writes    map[string]*Update // latest write per key
-	writeLog  []*Update          // program order, deduplicated by key
-	touchedRO map[uint16]struct{}
+	woundMu  sync.Mutex
+	wounded  bool
+	woundCh  chan struct{} // lazy: created by the first waiter or wound
+	done     bool
+	held     []uint16           // partitions locked (== partitions touched)
+	heldArr  [4]uint16          // inline backing for held
+	writes   map[string]*Update // latest write per key (lazy)
+	writeLog []*Update          // program order, deduplicated by key
 }
 
 func newTxn(s *Store, ts uint64) *lockTxn {
-	return &lockTxn{
-		store:     s,
-		ts:        ts,
-		woundCh:   make(chan struct{}),
-		held:      make(map[uint16]struct{}),
-		writes:    make(map[string]*Update),
-		touchedRO: make(map[uint16]struct{}),
-	}
+	t := &lockTxn{store: s, ts: ts}
+	t.held = t.heldArr[:0]
+	return t
 }
 
 func (t *lockTxn) wound() {
 	t.woundMu.Lock()
 	if !t.wounded {
 		t.wounded = true
-		close(t.woundCh)
+		if t.woundCh != nil {
+			close(t.woundCh)
+		}
 	}
 	t.woundMu.Unlock()
 }
@@ -109,18 +112,35 @@ func (t *lockTxn) isWounded() bool {
 	return t.wounded
 }
 
+// woundChan returns the channel a lock waiter selects on; it is closed (or
+// already closed) once the transaction is wounded.
+func (t *lockTxn) woundChan() chan struct{} {
+	t.woundMu.Lock()
+	if t.woundCh == nil {
+		t.woundCh = make(chan struct{})
+		if t.wounded {
+			close(t.woundCh)
+		}
+	}
+	ch := t.woundCh
+	t.woundMu.Unlock()
+	return ch
+}
+
 // lockPartition acquires the partition's transaction lock (idempotent).
 func (t *lockTxn) lockPartition(p uint16) error {
 	if t.done {
 		return ErrTxnDone
 	}
-	if _, ok := t.held[p]; ok {
-		return nil
+	for _, h := range t.held {
+		if h == p {
+			return nil
+		}
 	}
 	if err := t.store.parts[p].lock.acquire(t); err != nil {
 		return err
 	}
-	t.held[p] = struct{}{}
+	t.held = append(t.held, p)
 	return nil
 }
 
@@ -130,7 +150,6 @@ func (t *lockTxn) Get(key string) ([]byte, bool, error) {
 	if err := t.lockPartition(p); err != nil {
 		return nil, false, err
 	}
-	t.touchedRO[p] = struct{}{}
 	if w, ok := t.writes[key]; ok { // read-your-writes
 		if w.Value == nil {
 			return nil, false, nil
@@ -157,7 +176,6 @@ func (t *lockTxn) Put(key string, val []byte) error {
 	if err := t.lockPartition(p); err != nil {
 		return err
 	}
-	t.touchedRO[p] = struct{}{}
 	v := make([]byte, len(val))
 	copy(v, val)
 	if w, ok := t.writes[key]; ok {
@@ -165,6 +183,9 @@ func (t *lockTxn) Put(key string, val []byte) error {
 		return nil
 	}
 	u := &Update{Key: key, Value: v, Partition: p}
+	if t.writes == nil {
+		t.writes = make(map[string]*Update, 4)
+	}
 	t.writes[key] = u
 	t.writeLog = append(t.writeLog, u)
 	return nil
@@ -176,12 +197,14 @@ func (t *lockTxn) Delete(key string) error {
 	if err := t.lockPartition(p); err != nil {
 		return err
 	}
-	t.touchedRO[p] = struct{}{}
 	if w, ok := t.writes[key]; ok {
 		w.Value = nil
 		return nil
 	}
 	u := &Update{Key: key, Value: nil, Partition: p}
+	if t.writes == nil {
+		t.writes = make(map[string]*Update, 4)
+	}
 	t.writes[key] = u
 	t.writeLog = append(t.writeLog, u)
 	return nil
@@ -191,7 +214,7 @@ func (t *lockTxn) Delete(key string) error {
 func (t *lockTxn) Timestamp() uint64 { return t.ts }
 
 func (t *lockTxn) releaseAll() {
-	for p := range t.held {
+	for _, p := range t.held {
 		t.store.parts[p].lock.unlock(t)
 	}
 	t.held = nil
@@ -214,17 +237,17 @@ func (t *lockTxn) commit(onCommit func(Result)) (Result, error) {
 		if u.Value == nil {
 			delete(part.data, u.Key)
 		} else {
-			v := make([]byte, len(u.Value))
-			copy(v, u.Value)
-			part.data[u.Key] = v
+			// u.Value was copied at Put and is immutable from here on: the
+			// store entry and the piggybacked update share it, saving a copy
+			// per write.
+			part.data[u.Key] = u.Value
 		}
 		part.mu.Unlock()
 		res.Updates = append(res.Updates, *u)
 	}
-	res.Touched = make([]uint16, 0, len(t.touchedRO))
-	for p := range t.touchedRO {
-		res.Touched = append(res.Touched, p)
-	}
+	// Every touch path locks its partition first, so held IS the touched set.
+	res.Touched = make([]uint16, len(t.held))
+	copy(res.Touched, t.held)
 	sortU16(res.Touched)
 	if onCommit != nil {
 		onCommit(res)

@@ -227,27 +227,33 @@ func (s *Sink) Stop() {
 func (s *Sink) collect() {
 	defer s.wg.Done()
 	payloadMin := payloadHdrLen
+	var pkt wire.Packet // reused: collect is the only goroutine touching it
 	for {
 		in, ok := s.node.Recv(0)
 		if !ok {
 			return
 		}
-		now := time.Now().UnixNano()
-		p, err := wire.Parse(in.Frame)
-		if err != nil {
-			s.badMagic.Inc()
-			continue
-		}
-		s.received.Inc()
-		pay := p.Payload()
-		if len(pay) < payloadMin || binary.BigEndian.Uint32(pay[0:4]) != payloadMagic {
-			s.badMagic.Inc()
-			continue
-		}
-		sent := int64(binary.BigEndian.Uint64(pay[16:24]))
-		if sent > 0 && now > sent {
-			s.hist.Record(time.Duration(now - sent))
-		}
+		s.account(&pkt, in.Frame, payloadMin)
+		// The sink is the end of the line: every frame goes back to the pool.
+		netsim.ReleaseFrame(in.Frame)
+	}
+}
+
+func (s *Sink) account(p *wire.Packet, frame []byte, payloadMin int) {
+	now := time.Now().UnixNano()
+	if err := wire.ParseInto(p, frame); err != nil {
+		s.badMagic.Inc()
+		return
+	}
+	s.received.Inc()
+	pay := p.Payload()
+	if len(pay) < payloadMin || binary.BigEndian.Uint32(pay[0:4]) != payloadMagic {
+		s.badMagic.Inc()
+		return
+	}
+	sent := int64(binary.BigEndian.Uint64(pay[16:24]))
+	if sent > 0 && now > sent {
+		s.hist.Record(time.Duration(now - sent))
 	}
 }
 

@@ -3,7 +3,8 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
+
+	"github.com/ftsfc/ftc/internal/hashx"
 )
 
 // trailer footer layout: the last 4 bytes of a frame carrying an FTC
@@ -34,15 +35,13 @@ func (t FiveTuple) Reverse() FiveTuple {
 // selection and state partitioning. It is symmetric per direction (not
 // bidirectional) like standard NIC RSS.
 func (t FiveTuple) Hash() uint64 {
-	h := fnv.New64a()
 	var b [13]byte
 	copy(b[0:4], t.Src[:])
 	copy(b[4:8], t.Dst[:])
 	binary.BigEndian.PutUint16(b[8:10], t.SrcPort)
 	binary.BigEndian.PutUint16(b[10:12], t.DstPort)
 	b[12] = t.Proto
-	h.Write(b[:])
-	return h.Sum64()
+	return hashx.Sum64(b[:])
 }
 
 // Packet is a parsed view over a raw Ethernet frame. The FTC runtime appends
@@ -74,6 +73,14 @@ func Parse(frame []byte) (*Packet, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// ParseInto decodes frame into an existing Packet, overwriting all fields.
+// It is the allocation-free variant of Parse for per-worker scratch packets
+// on the data-plane fast path. On error the packet's contents are undefined.
+func ParseInto(p *Packet, frame []byte) error {
+	*p = Packet{Buf: frame}
+	return p.Reparse()
 }
 
 // Reparse re-decodes all headers from p.Buf, e.g. after an in-place rewrite
@@ -301,6 +308,47 @@ func (p *Packet) SetTrailer(body []byte) error {
 	return nil
 }
 
+// TrailerEncoder produces a trailer body by appending to dst (the usual
+// Encode(dst) shape). Implementations must only append.
+type TrailerEncoder interface {
+	Encode(dst []byte) []byte
+}
+
+// AppendTrailer sets the FTC trailer by letting enc append the body directly
+// onto the frame past the IP-covered bytes, avoiding the intermediate body
+// buffer SetTrailer requires. Any existing trailer is replaced.
+func (p *Packet) AppendTrailer(enc TrailerEncoder) error {
+	grown, err := appendTrailerAt(p.Buf[:p.ipEnd], enc)
+	if err != nil {
+		return err
+	}
+	p.Buf = grown
+	return nil
+}
+
+// AppendRawTrailer appends an FTC trailer to a frame whose length is exactly
+// its IP-covered byte count (a prebuilt carrier template), without parsing.
+// The returned slice is frame, grown in place when capacity allows.
+func AppendRawTrailer(frame []byte, enc TrailerEncoder) ([]byte, error) {
+	return appendTrailerAt(frame, enc)
+}
+
+func appendTrailerAt(base []byte, enc TrailerEncoder) ([]byte, error) {
+	end := len(base)
+	grown := enc.Encode(base)
+	bodyLen := len(grown) - end
+	if bodyLen < 0 {
+		return nil, fmt.Errorf("%w: trailer encoder shrank the frame", ErrBadHeader)
+	}
+	if bodyLen > 0xffff {
+		return nil, fmt.Errorf("%w: trailer body %d bytes", ErrBadHeader, bodyLen)
+	}
+	var foot [trailerFooterLen]byte
+	binary.BigEndian.PutUint16(foot[0:2], trailerMagic)
+	binary.BigEndian.PutUint16(foot[2:4], uint16(bodyLen))
+	return append(grown, foot[:]...), nil
+}
+
 // StripTrailer removes the trailer, returning a copy of its body (nil if no
 // trailer was present).
 func (p *Packet) StripTrailer() []byte {
@@ -312,6 +360,14 @@ func (p *Packet) StripTrailer() []byte {
 	copy(body, t)
 	p.Buf = p.Buf[:p.ipEnd]
 	return body
+}
+
+// DropTrailer removes the trailer without copying its body out — the
+// allocation-free StripTrailer for callers that no longer need the body.
+func (p *Packet) DropTrailer() {
+	if p.HasTrailer() {
+		p.Buf = p.Buf[:p.ipEnd]
+	}
 }
 
 // HasFTCOption reports whether the IP header carries the FTC marker option.

@@ -1,11 +1,16 @@
 package wire
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"github.com/ftsfc/ftc/internal/hashx"
+)
 
 // RSSHash computes a receive-side-scaling hash straight from raw frame
 // bytes, without full parsing, so NIC queue selection stays cheap. It
-// hashes the IPv4 addresses, protocol, and (for UDP/TCP) ports with FNV-1a.
-// Non-IPv4 or truncated frames hash to 0.
+// hashes the IPv4 addresses, protocol, and (for UDP/TCP) ports with the
+// shared FNV-1a helper (internal/hashx). Non-IPv4 or truncated frames hash
+// to 0.
 func RSSHash(frame []byte) uint64 {
 	if len(frame) < EthernetHeaderLen+IPv4MinHeaderLen {
 		return 0
@@ -20,23 +25,10 @@ func RSSHash(frame []byte) uint64 {
 	}
 	proto := ip[9]
 
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	for _, b := range ip[12:20] { // src+dst addresses
-		mix(b)
-	}
-	mix(proto)
+	h := hashx.Mix64(hashx.Offset64, ip[12:20]) // src+dst addresses
+	h = hashx.MixByte64(h, proto)
 	if proto == ProtoUDP || proto == ProtoTCP {
-		for _, b := range ip[ihl : ihl+4] { // src+dst ports
-			mix(b)
-		}
+		h = hashx.Mix64(h, ip[ihl:ihl+4]) // src+dst ports
 	}
 	return h
 }
