@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-fig5
+# Data-plane burst size for bench-json runs (FTC_BURST env override in the
+# benchmarks); 1 measures the degenerate per-packet pipeline.
+BURST ?= 32
+DATE  := $(shell date +%Y-%m-%d)
+
+.PHONY: all build test vet race bench-smoke bench-fig5 bench-json ci
 
 all: build vet test
 
@@ -26,3 +31,19 @@ bench-smoke:
 # Full throughput benchmark (Figure 5 reproduction) with allocation stats.
 bench-fig5:
 	$(GO) test . -run=NONE -bench=Fig5 -benchtime=2s -benchmem
+
+# Machine-readable benchmark snapshot: runs the Figure 5 and Figure 7
+# benchmarks at the configured burst size and writes BENCH_<date>.json
+# with pps, ns/op, and allocs/op per sub-benchmark.
+#   make bench-json            # default burst (32)
+#   make bench-json BURST=1    # per-packet baseline for comparison
+bench-json:
+	FTC_BURST=$(BURST) $(GO) test . -run=NONE -bench='Fig5|Fig7' -benchtime=2s -benchmem \
+		| tee /dev/stderr \
+		| awk -v burst=$(BURST) -v date=$(DATE) -f scripts/bench_json.awk \
+		> BENCH_$(DATE).json
+	@echo wrote BENCH_$(DATE).json
+
+# The full pre-merge gate: build, vet, allocation smoke benchmarks, the
+# race-sensitive packages under -race, and the whole test suite.
+ci: build vet bench-smoke race test

@@ -11,7 +11,9 @@ package ftc
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -20,11 +22,23 @@ import (
 	"github.com/ftsfc/ftc/internal/wire"
 )
 
+// envBurst reads the FTC_BURST override so `make bench-json BURST=1` can
+// measure the degenerate per-packet pipeline against the default burst
+// without a code change. 0 (unset) keeps each layer's default.
+func envBurst() int {
+	if v := os.Getenv("FTC_BURST"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
 // pump drives exactly b.N packets through the SUT with a bounded in-flight
 // window and waits for them all to exit.
 func pump(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int, packetSize int) {
 	b.Helper()
-	p := exp.Params{Flows: 64, PacketSize: packetSize}
+	p := exp.Params{Flows: 64, PacketSize: packetSize, Burst: envBurst()}
 	s, err := exp.BuildSUT(kind, factory, p, workers)
 	if err != nil {
 		b.Fatal(err)
@@ -155,7 +169,7 @@ func BenchmarkFig8(b *testing.B) {
 // closedLoop sends one packet at a time, so ns/op ≈ per-packet chain latency.
 func closedLoop(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int) {
 	b.Helper()
-	s, err := exp.BuildSUT(kind, factory, exp.Params{Flows: 64, PacketSize: 256}, workers)
+	s, err := exp.BuildSUT(kind, factory, exp.Params{Flows: 64, PacketSize: 256, Burst: envBurst()}, workers)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -212,7 +226,7 @@ func BenchmarkFig11(b *testing.B) {
 func BenchmarkFig12(b *testing.B) {
 	for _, f := range []int{1, 2, 3, 4} {
 		b.Run(fmt.Sprintf("replication%d", f+1), func(b *testing.B) {
-			p := exp.Params{Flows: 64, PacketSize: 256, F: f}
+			p := exp.Params{Flows: 64, PacketSize: 256, F: f, Burst: envBurst()}
 			s, err := exp.BuildSUT(exp.FTC, exp.MonitorChain(5, 1), p, 8)
 			if err != nil {
 				b.Fatal(err)

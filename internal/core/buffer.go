@@ -38,8 +38,9 @@ func (b *egressBuffer) len() int {
 // transfers the packet's remaining piggyback message to the forwarder,
 // then holds or releases the packet per the §5.1 release rule. The return
 // value reports whether the buffer took ownership of pkt.Buf (held it);
-// held frames are recycled by tryRelease once they egress.
-func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) bool {
+// held frames are recycled by tryRelease once they egress. A non-nil worker
+// defers egress sends and the held-packet release scan to the burst flush.
+func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message, w *worker) bool {
 	// Transfer wrapped logs and in-flight commit vectors to the forwarder
 	// so they continue around the ring (the paper ships these on a
 	// dedicated link between the last and first servers). The buffer also
@@ -84,7 +85,9 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) bool {
 	if msg.Propagating() {
 		// Propagating packets die at the buffer after their commits have
 		// been merged (step 1 of processPacket).
-		r.maybeRelease()
+		if w == nil {
+			r.maybeRelease()
+		}
 		return false
 	}
 
@@ -97,8 +100,15 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) bool {
 
 	// Fast path: everything this packet needs may already be committed.
 	if r.releasable(msg.Logs) {
-		r.release(pkt.Buf)
-		r.maybeRelease()
+		if w != nil {
+			// The frame joins the worker's egress burst; ownership of the
+			// backing array stays with the inbound frame, which the worker
+			// recycles after the flush.
+			w.egr = append(w.egr, pkt.Buf)
+		} else {
+			r.release(pkt.Buf)
+			r.maybeRelease()
+		}
 		return false
 	}
 	r.stats.Held.Add(1)
@@ -110,7 +120,9 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message) bool {
 	r.buf.mu.Lock()
 	r.buf.held = append(r.buf.held, heldPacket{frame: pkt.Buf, logs: heldLogs})
 	r.buf.mu.Unlock()
-	r.maybeRelease()
+	if w == nil {
+		r.maybeRelease()
+	}
 	return true
 }
 

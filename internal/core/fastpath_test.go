@@ -74,7 +74,7 @@ const trailerHeadroom = 128
 func (rig *fastPathRig) hop(tb testing.TB) {
 	rig.frame = rig.frame[:len(rig.tmpl)]
 	copy(rig.frame, rig.tmpl)
-	retained := rig.r.handleFrame(netsim.Inbound{From: "r1", Frame: rig.frame}, rig.fp)
+	retained := rig.r.handleFrame(netsim.Inbound{From: "r1", Frame: rig.frame}, rig.fp, nil)
 	if retained {
 		tb.Fatal("pass-through hop retained the frame")
 	}
@@ -120,7 +120,7 @@ func TestFastPathForwardEquivalence(t *testing.T) {
 	rig := newFastPathRig(t)
 	rig.frame = rig.frame[:len(rig.tmpl)]
 	copy(rig.frame, rig.tmpl)
-	if rig.r.handleFrame(netsim.Inbound{From: "r1", Frame: rig.frame}, rig.fp) {
+	if rig.r.handleFrame(netsim.Inbound{From: "r1", Frame: rig.frame}, rig.fp, nil) {
 		t.Fatal("pass-through hop retained the frame")
 	}
 	out, ok := rig.next.Recv(0)

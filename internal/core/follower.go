@@ -80,7 +80,15 @@ func (f *Follower) unlockVec(v SparseVec) {
 // Apply attempts to apply one piggyback log. It never blocks: a log whose
 // dependencies are unmet returns Blocked and the caller decides whether to
 // wait (WaitApply) or request repair.
-func (f *Follower) Apply(l Log) ApplyOutcome {
+func (f *Follower) Apply(l Log) ApplyOutcome { return f.apply(l, nil) }
+
+// apply is Apply with an optional retransmission-buffer sink: when sink is
+// non-nil, an installed log's retained copy is appended to *sink instead of
+// the buffer, so burst workers can append a whole burst's logs under one
+// buffer lock at the flush. MAX still advances here, atomically with the
+// install — only the buffer append is deferred (repair requests racing the
+// deferral retry within RepairEvery).
+func (f *Follower) apply(l Log, sink *[]Log) ApplyOutcome {
 	if len(l.Vec) == 0 {
 		return Applied // touched nothing; nothing to order or install
 	}
@@ -106,7 +114,11 @@ func (f *Follower) Apply(l Log) ApplyOutcome {
 	l.Vec.AdvanceInto(f.max)
 	// The log's Vec/Updates arrays may live in a per-worker decode scratch;
 	// clone them before the retransmission buffer outlives the packet.
-	f.buf.add(l.Retain())
+	if sink != nil {
+		*sink = append(*sink, l.Retain())
+	} else {
+		f.buf.add(l.Retain())
+	}
 	f.wake()
 	return Applied
 }
@@ -145,9 +157,14 @@ func (f *Follower) notifyCh() chan struct{} {
 // repair should be fed through Apply by the callback. WaitApply gives up
 // and reports false after deadline (zero means wait forever).
 func (f *Follower) WaitApply(l Log, repairEvery time.Duration, onRepair func(), deadline time.Duration) bool {
+	return f.waitApply(l, repairEvery, onRepair, deadline, nil)
+}
+
+// waitApply is WaitApply with an optional buffer sink (see apply).
+func (f *Follower) waitApply(l Log, repairEvery time.Duration, onRepair func(), deadline time.Duration, sink *[]Log) bool {
 	var elapsed time.Duration
 	for {
-		switch f.Apply(l) {
+		switch f.apply(l, sink) {
 		case Applied, Duplicate:
 			return true
 		case Blocked:
@@ -155,7 +172,7 @@ func (f *Follower) WaitApply(l Log, repairEvery time.Duration, onRepair func(), 
 		ch := f.notifyCh()
 		// Re-check after taking the channel: an Apply that advanced MAX
 		// between our Apply and notifyCh would otherwise be missed.
-		if out := f.Apply(l); out != Blocked {
+		if out := f.apply(l, sink); out != Blocked {
 			return true
 		}
 		wait := repairEvery

@@ -69,8 +69,29 @@ func (h *Head) RestoreVector(v []uint64) {
 // then increments them, unless the transaction was read-only, in which case
 // the observed values are stamped and nothing advances (§4.3).
 func (h *Head) Transaction(fn func(tx state.Txn) error) (Log, error) {
+	log, err := h.transactionOn(h.store, fn)
+	if err == nil && !log.Noop() {
+		h.buf.add(log)
+	}
+	return log, err
+}
+
+// TransactionBatch is Transaction executed through a worker's state batch:
+// partition locks acquired by earlier transactions in the burst are reused,
+// and the retransmission-buffer append is left to the caller (burst workers
+// collect logs and flush them in one addAll at the burst boundary).
+func (h *Head) TransactionBatch(b state.Batch, fn func(tx state.Txn) error) (Log, error) {
+	return h.transactionOn(b, fn)
+}
+
+// execer is the common transaction surface of state.Backend and state.Batch.
+type execer interface {
+	ExecWithHook(fn func(tx state.Txn) error, onCommit func(state.Result)) (state.Result, error)
+}
+
+func (h *Head) transactionOn(x execer, fn func(tx state.Txn) error) (Log, error) {
 	log := Log{MB: h.mb}
-	res, err := h.store.ExecWithHook(fn, func(r state.Result) {
+	res, err := x.ExecWithHook(fn, func(r state.Result) {
 		vec := make(SparseVec, 0, len(r.Touched))
 		for _, p := range r.Touched {
 			if r.ReadOnly {
@@ -88,7 +109,6 @@ func (h *Head) Transaction(fn func(tx state.Txn) error) (Log, error) {
 		log.Flags |= LogNoop
 	} else {
 		log.Updates = res.Updates
-		h.buf.add(log)
 	}
 	return log, nil
 }
@@ -109,6 +129,17 @@ func (b *logBuffer) add(l Log) {
 	}
 	b.mu.Lock()
 	b.logs = append(b.logs, l)
+	b.mu.Unlock()
+}
+
+// addAll appends a burst's worth of logs under one lock acquisition.
+// Callers filter noop logs (add's contract) before queueing.
+func (b *logBuffer) addAll(ls []Log) {
+	if len(ls) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.logs = append(b.logs, ls...)
 	b.mu.Unlock()
 }
 

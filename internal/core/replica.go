@@ -154,17 +154,19 @@ func (r *Replica) Start() {
 		r.wg.Add(1)
 		go func(q int) {
 			defer r.wg.Done()
-			fp := &fastPath{}
+			w := r.newWorker()
 			for {
-				in, ok := r.sim.Recv(q)
-				if !ok {
+				n := r.sim.RecvBurst(q, w.in)
+				if n == 0 {
+					// Crash or shutdown mid-stream: release any state locks
+					// the batch retains so post-mortem store reads (recovery,
+					// digests) never block on a dead worker.
+					if w.batch != nil {
+						w.batch.Flush()
+					}
 					return
 				}
-				if !r.handleFrame(in, fp) {
-					// The frame was not retained by any pipeline stage:
-					// recycle it into the fabric's frame pool.
-					netsim.ReleaseFrame(in.Frame)
-				}
+				r.handleBurst(w, n)
 			}
 		}(q)
 	}
@@ -172,6 +174,123 @@ func (r *Replica) Start() {
 		r.wg.Add(1)
 		go r.propagateLoop()
 	}
+}
+
+// worker is one goroutine's burst-processing state: the fastPath decode
+// scratch plus the deferred-work queues that let a burst pay once for what
+// the per-packet path pays per frame — next-hop route resolution and sends,
+// state-lock begin/commit, retransmission-buffer appends, and commit
+// dissemination.
+type worker struct {
+	fp fastPath
+	in []netsim.Inbound // RecvBurst landing zone, len == cfg.Burst
+
+	out []([]byte) // trailered frames awaiting the flush to the next hop
+	egr []([]byte) // finalized frames awaiting the flush to egress
+	rel []([]byte) // frames to recycle once the flush has copied them out
+
+	batch state.Batch // head packet transactions; flushed per burst
+
+	headLogs []Log // head retransmission-buffer appends, one addAll per burst
+	pendF    []*Follower
+	pendL    []Log // follower appends; pendF[i] buffers pendL[i]
+
+	last      bool // processing the burst's final frame (flush boundary)
+	dissemDue bool // a commitEvery tick fired; disseminate at the boundary
+}
+
+func (r *Replica) newWorker() *worker {
+	w := &worker{in: make([]netsim.Inbound, r.cfg.Burst)}
+	if r.head != nil {
+		w.batch = r.head.Store().NewBatch()
+	}
+	return w
+}
+
+// handleBurst runs one received burst through the pipeline and flushes the
+// deferred work at its boundary. A burst of 1 (partial or Burst=1 config)
+// flushes immediately after its only frame, reproducing per-packet behavior
+// exactly — bursting never adds a latency floor.
+func (r *Replica) handleBurst(w *worker, n int) {
+	w.fp.dec.BeginBurst()
+	for i := 0; i < n; i++ {
+		w.last = i == n-1
+		if !r.handleFrame(w.in[i], &w.fp, w) {
+			w.rel = append(w.rel, w.in[i].Frame)
+		}
+	}
+	r.flushBurst(w)
+}
+
+// flushBurst drains the worker's deferred queues: one burst send per
+// destination, one lock acquisition per retransmission buffer, one state
+// batch flush, one buffer-release scan. Frames recycle only after the burst
+// sends have copied them into the fabric.
+func (r *Replica) flushBurst(w *worker) {
+	if len(w.out) > 0 {
+		if next := r.nextHop(); next != "" {
+			if err := r.sim.SendBurstBlocking(next, w.out); err == nil {
+				r.stats.TxFrames.Add(uint64(len(w.out)))
+			}
+		}
+		clearFrames(&w.out)
+	}
+	if len(w.egr) > 0 {
+		if r.egress == "" {
+			r.stats.Egress.Add(uint64(len(w.egr)))
+		} else if err := r.sim.SendBurstBlocking(r.egress, w.egr); err == nil {
+			r.stats.Egress.Add(uint64(len(w.egr)))
+		}
+		clearFrames(&w.egr)
+	}
+	if len(w.headLogs) > 0 {
+		r.head.Buffer().addAll(w.headLogs)
+		clearLogs(&w.headLogs)
+	}
+	for i := 0; i < len(w.pendL); {
+		f := w.pendF[i]
+		j := i + 1
+		for j < len(w.pendL) && w.pendF[j] == f {
+			j++
+		}
+		f.buf.addAll(w.pendL[i:j])
+		i = j
+	}
+	if len(w.pendL) > 0 {
+		clearLogs(&w.pendL)
+		for i := range w.pendF {
+			w.pendF[i] = nil
+		}
+		w.pendF = w.pendF[:0]
+	}
+	if w.batch != nil {
+		w.batch.Flush()
+	}
+	if r.buf != nil {
+		r.maybeRelease()
+	}
+	for _, fr := range w.rel {
+		netsim.ReleaseFrame(fr)
+	}
+	clearFrames(&w.rel)
+}
+
+// clearFrames truncates a frame list, zeroing entries so recycled buffers
+// are not pinned between bursts.
+func clearFrames(s *[][]byte) {
+	for i := range *s {
+		(*s)[i] = nil
+	}
+	*s = (*s)[:0]
+}
+
+// clearLogs truncates a log list, zeroing entries so retained Vec/Updates
+// arrays are not pinned between bursts.
+func clearLogs(s *[]Log) {
+	for i := range *s {
+		(*s)[i] = Log{}
+	}
+	*s = (*s)[:0]
 }
 
 // Stop terminates the replica's goroutines. The underlying fabric node is
@@ -222,8 +341,10 @@ type fastPath struct {
 // handleFrame runs one inbound frame through the replica pipeline. It
 // reports whether some stage retained ownership of in.Frame (only the
 // egress buffer does, when it holds the packet); unretained frames go back
-// to the frame pool.
-func (r *Replica) handleFrame(in netsim.Inbound, fp *fastPath) bool {
+// to the frame pool. With a non-nil worker, sends and buffer appends are
+// deferred to the burst flush; with nil they happen inline (per-packet
+// callers: propagateLoop, tests).
+func (r *Replica) handleFrame(in netsim.Inbound, fp *fastPath, w *worker) bool {
 	r.stats.RxFrames.Add(1)
 	pkt := &fp.pkt
 	if err := wire.ParseInto(pkt, in.Frame); err != nil {
@@ -271,7 +392,7 @@ func (r *Replica) handleFrame(in netsim.Inbound, fp *fastPath) bool {
 			return false
 		}
 	}
-	held := r.processPacket(pkt, msg)
+	held := r.processPacket(pkt, msg, w)
 	// The buffer held pkt.Buf; in.Frame is retained only if they are still
 	// the same array (an in-header insert or trailer append can reallocate,
 	// leaving in.Frame free to recycle while the buffer owns the copy).
@@ -279,15 +400,16 @@ func (r *Replica) handleFrame(in netsim.Inbound, fp *fastPath) bool {
 }
 
 // processPacket runs the full §5.1 pipeline for one packet at this replica.
-// It reports whether the egress buffer took ownership of pkt.Buf.
-func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
+// It reports whether the egress buffer took ownership of pkt.Buf. A non-nil
+// worker defers sends, state commits, and buffer appends to the burst flush.
+func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool {
 	// 1. Commit vectors: merge for pruning and buffer release. A commit
 	// rides the full ring — through the buffer→forwarder transfer when the
 	// group wraps — so every member and the buffer see it; it retires when
 	// it arrives back at the tail that mints it.
+	r.mergeCommits(msg.Commits)
 	kept := msg.Commits[:0]
 	for _, c := range msg.Commits {
-		r.mergeCommit(c.MB, c.Vec)
 		if r.ring.TailOf(r.idx) == int(c.MB) {
 			continue
 		}
@@ -296,7 +418,12 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 	msg.Commits = kept
 
 	// 2. Piggyback logs: replicate in dependency order; tails strip the log
-	// they have just replicated for the f+1'th time.
+	// they have just replicated for the f+1'th time. Burst workers sink the
+	// retransmission-buffer appends for a one-pass flush at the boundary.
+	var sink *[]Log
+	if w != nil {
+		sink = &w.pendL
+	}
 	keptLogs := msg.Logs[:0]
 	for _, l := range msg.Logs {
 		if r.head != nil && l.MB == r.head.MB() {
@@ -308,10 +435,15 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 			continue
 		}
 		mb := l.MB
-		if !f.WaitApply(l, r.cfg.RepairEvery, func() { r.repair(mb, f) }, r.cfg.RepairDeadline) {
+		if !f.waitApply(l, r.cfg.RepairEvery, func() { r.repair(mb, f) }, r.cfg.RepairDeadline, sink) {
 			r.stats.ApplyTimeouts.Add(1)
 			keptLogs = append(keptLogs, l)
 			continue
+		}
+		if w != nil {
+			for len(w.pendF) < len(w.pendL) {
+				w.pendF = append(w.pendF, f)
+			}
 		}
 		if r.ring.TailOf(r.idx) == int(l.MB) {
 			continue // f+1 times replicated; strip (§5.1)
@@ -321,14 +453,26 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 	msg.Logs = keptLogs
 
 	// 3. The packet transaction (data packets only; propagating packets are
-	// never handed to middleboxes, §5.1).
+	// never handed to middleboxes, §5.1). Burst workers run it through their
+	// state batch, so consecutive packets touching the same partitions pay
+	// one lock acquisition, and defer the retransmission-buffer append.
 	if r.head != nil && !msg.Propagating() {
 		var verdict Verdict
-		log, err := r.head.Transaction(func(tx state.Txn) error {
+		fn := func(tx state.Txn) error {
 			v, perr := r.mb.Process(pkt, tx)
 			verdict = v
 			return perr
-		})
+		}
+		var log Log
+		var err error
+		if w != nil && w.batch != nil {
+			log, err = r.head.TransactionBatch(w.batch, fn)
+			if err == nil && !log.Noop() {
+				w.headLogs = append(w.headLogs, log)
+			}
+		} else {
+			log, err = r.head.Transaction(fn)
+		}
 		if err != nil {
 			r.stats.MBErrors.Add(1)
 			verdict = Drop
@@ -340,7 +484,7 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 			// The filtered packet's piggyback message continues on a
 			// propagating packet generated by this head (§5.1).
 			msg.Flags |= FlagPropagating
-			r.emitPropagating(msg)
+			r.emitPropagating(msg, w)
 			return false
 		}
 	}
@@ -348,9 +492,27 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 	// 4. Tail duty: announce the latest f+1-replicated prefix. The tail
 	// disseminates "periodically" (§4.1): every commitEvery'th packet and on
 	// every propagating packet, so idle chains still make release progress
-	// without paying a full MAX snapshot per packet.
+	// without paying a full MAX snapshot per packet. Burst workers collapse
+	// the check to the burst boundary: ticks accumulate per packet, but the
+	// MAX snapshot rides the burst's last packet (CommitRefresh still bounds
+	// staleness in time). With Burst=1 every packet is a boundary, which is
+	// exactly the per-packet schedule.
 	if j := r.ring.TailOf(r.idx); j >= 0 {
-		if msg.Propagating() || r.tailTick.Add(1)%commitEvery == 1 || r.commitStale() {
+		disseminate := msg.Propagating()
+		if !disseminate {
+			if w == nil {
+				disseminate = r.tailTick.Add(1)%commitEvery == 1 || r.commitStale()
+			} else {
+				if r.tailTick.Add(1)%commitEvery == 1 {
+					w.dissemDue = true
+				}
+				if w.last && (w.dissemDue || r.commitStale()) {
+					disseminate = true
+					w.dissemDue = false
+				}
+			}
+		}
+		if disseminate {
 			var dense []uint64
 			if f := r.followers[uint16(j)]; f != nil {
 				dense = f.Max()
@@ -367,18 +529,24 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message) bool {
 
 	// 5. Forward along the chain, or run the buffer at the chain's end.
 	if r.buf != nil {
-		return r.bufferStage(pkt, msg)
+		return r.bufferStage(pkt, msg, w)
 	}
-	r.forward(pkt, msg)
+	r.forward(pkt, msg, w)
 	return false
 }
 
-func (r *Replica) forward(pkt *wire.Packet, msg *Message) {
+func (r *Replica) forward(pkt *wire.Packet, msg *Message, w *worker) {
 	// Encode the trailer by appending straight onto the frame: no
 	// intermediate body buffer, and on pooled frames with headroom no
 	// allocation at all.
 	if err := pkt.AppendTrailer(msg); err != nil {
 		r.stats.ParseErrors.Add(1)
+		return
+	}
+	if w != nil {
+		// Burst path: the frame joins the worker's outgoing burst; the
+		// route resolves once for all of them at the flush.
+		w.out = append(w.out, pkt.Buf)
 		return
 	}
 	next := r.nextHop()
@@ -433,10 +601,51 @@ func (r *Replica) mergeCommit(mb uint16, v SparseVec) {
 	}
 }
 
-func (r *Replica) pruneFromCommits(commits []Commit) {
-	for _, c := range commits {
-		r.mergeCommit(c.MB, c.Vec)
+// mergeCommits folds a whole message's commit vectors into the replica's
+// view under a single commitMu acquisition (mergeCommit pays one per
+// vector). Due prunes are collected under the lock and executed outside it,
+// preserving mergeCommit's lock ordering.
+func (r *Replica) mergeCommits(commits []Commit) {
+	if len(commits) == 0 {
+		return
 	}
+	var dueMB []uint16
+	var dueSnap [][]uint64
+	r.commitMu.Lock()
+	for _, c := range commits {
+		seen, ok := r.commitSeen[c.MB]
+		if !ok {
+			seen = make([]uint64, r.cfg.Partitions)
+			r.commitSeen[c.MB] = seen
+		}
+		for _, e := range c.Vec {
+			if int(e.Part) < len(seen) && e.Seq > seen[e.Part] {
+				seen[e.Part] = e.Seq
+			}
+		}
+		if r.buf != nil && r.ring.Wrapped(int(c.MB)) {
+			r.releaseDirty.Store(true)
+		}
+		r.pruneTick[c.MB]++
+		if r.pruneTick[c.MB] >= 128 {
+			r.pruneTick[c.MB] = 0
+			dueMB = append(dueMB, c.MB)
+			dueSnap = append(dueSnap, CloneDense(seen))
+		}
+	}
+	r.commitMu.Unlock()
+	for i, mb := range dueMB {
+		if r.head != nil && r.head.MB() == mb {
+			r.head.Buffer().Prune(dueSnap[i])
+		}
+		if f := r.followers[mb]; f != nil {
+			f.Prune(dueSnap[i])
+		}
+	}
+}
+
+func (r *Replica) pruneFromCommits(commits []Commit) {
+	r.mergeCommits(commits)
 }
 
 func (r *Replica) commitSnapshot(mb uint16) []uint64 {
@@ -476,7 +685,7 @@ func (r *Replica) repair(mb uint16, f *Follower) {
 
 // emitPropagating sends msg through the rest of the chain on a synthetic
 // packet (idle-timer propagation, filtered packets, §5.1).
-func (r *Replica) emitPropagating(msg *Message) {
+func (r *Replica) emitPropagating(msg *Message, w *worker) {
 	msg.Flags |= FlagPropagating
 	pkt := r.carrierFrom(msg.LenEstimate())
 	r.stats.Propagating.Add(1)
@@ -484,9 +693,16 @@ func (r *Replica) emitPropagating(msg *Message) {
 		// Last node: the propagating content goes straight to the buffer
 		// stage (nothing further down the chain). Propagating packets are
 		// never held, so the carrier frame is ours to recycle.
-		r.bufferStage(pkt, msg)
-	} else {
-		r.forward(pkt, msg)
+		r.bufferStage(pkt, msg, w)
+		netsim.ReleaseFrame(pkt.Buf)
+		return
+	}
+	r.forward(pkt, msg, w)
+	if w != nil {
+		// The carrier sits in the worker's outgoing burst until the flush
+		// copies it into the fabric; recycle it after that.
+		w.rel = append(w.rel, pkt.Buf)
+		return
 	}
 	netsim.ReleaseFrame(pkt.Buf)
 }
@@ -510,7 +726,7 @@ func (r *Replica) propagateLoop() {
 					break
 				}
 				msg := &Message{Gen: r.gen.Load(), Flags: FlagPropagating, Logs: logs, Commits: commits}
-				r.processPacket(mustCarrier(), msg)
+				r.processPacket(mustCarrier(), msg, nil)
 				if len(logs) < takeBatch {
 					break
 				}

@@ -62,6 +62,10 @@ type Params struct {
 	F int
 	// PacketSize is the default frame size (paper: 256 B).
 	PacketSize int
+	// Burst is the data-plane burst size for every stage (receive drain,
+	// batched transactions, grouped sends); 0 keeps each layer's default
+	// (core.DefaultBurst). 1 degenerates to per-packet processing.
+	Burst int
 }
 
 // WithDefaults fills zero fields.
@@ -113,6 +117,7 @@ type buildOpts struct {
 	packetSize int
 	flows      int
 	f          int
+	burst      int
 	fabricCfg  netsim.Config
 }
 
@@ -125,6 +130,7 @@ func BuildSUT(kind Kind, factory MBFactory, p Params, workers int) (*SUT, error)
 		packetSize: p.PacketSize,
 		flows:      p.Flows,
 		f:          p.F,
+		burst:      p.Burst,
 	})
 }
 
@@ -140,7 +146,7 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 	var ingress netsim.NodeID
 	switch kind {
 	case NF:
-		c := nf.NewChain(nf.Config{Workers: o.workers, QueueCap: 4096}, fabric, "nf", mbs, sink.ID())
+		c := nf.NewChain(nf.Config{Workers: o.workers, QueueCap: 4096, Burst: o.burst}, fabric, "nf", mbs, sink.ID())
 		c.Start()
 		s.closers = append(s.closers, c.Stop)
 		s.Servers = len(mbs)
@@ -149,14 +155,14 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 		// A short propagation period keeps single-packet (closed-loop)
 		// release latency from being bounded by the idle timer.
 		cfg := core.Config{F: o.f, Workers: o.workers, QueueCap: 4096,
-			PropagateEvery: 200 * time.Microsecond}
+			PropagateEvery: 200 * time.Microsecond, Burst: o.burst}
 		c := core.NewChain(cfg, fabric, "ftc", mbs, sink.ID())
 		c.Start()
 		s.closers = append(s.closers, c.Stop)
 		s.Servers = c.Len()
 		ingress = c.IngressID()
 	case FTMB, FTMBSnap:
-		cfg := ftmb.Config{Workers: o.workers, QueueCap: 4096}
+		cfg := ftmb.Config{Workers: o.workers, QueueCap: 4096, Burst: o.burst}
 		if kind == FTMBSnap {
 			// §7.4: a 6 ms artificial delay every 50 ms per middlebox.
 			cfg.SnapshotEvery = 50 * time.Millisecond
@@ -175,6 +181,7 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 	gen, err := tgen.NewGenerator(fabric, "gen", ingress, tgen.Spec{
 		Flows:      o.flows,
 		PacketSize: o.packetSize,
+		Burst:      o.burst,
 	})
 	if err != nil {
 		s.Close()

@@ -36,6 +36,9 @@ type Config struct {
 	Partitions int
 	Workers    int
 	QueueCap   int
+	// Burst is the receive burst size of master and logger workers (default
+	// core.DefaultBurst). Burst 1 degenerates to per-packet processing.
+	Burst int
 	// InputLogSize is the IL's ring of logged input packets.
 	InputLogSize int
 	// SnapshotEvery enables FTMB+Snapshot: the master pauses packet
@@ -55,6 +58,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1024
+	}
+	if c.Burst <= 0 {
+		c.Burst = core.DefaultBurst
 	}
 	if c.InputLogSize <= 0 {
 		c.InputLogSize = 4096
@@ -217,14 +223,21 @@ func (st *stage) start() {
 		st.wg.Add(1)
 		go func(q int) {
 			defer st.wg.Done()
+			in := make([]netsim.Inbound, st.cfg.Burst)
+			batch := st.store.NewBatch()
 			for {
-				in, ok := st.master.Recv(q)
-				if !ok {
+				cnt := st.master.RecvBurst(q, in)
+				if cnt == 0 {
+					batch.Flush()
 					return
 				}
-				st.masterHandle(in.Frame)
-				// masterHandle forwards copies; the inbound frame is dead here.
-				netsim.ReleaseFrame(in.Frame)
+				for i := 0; i < cnt; i++ {
+					st.masterHandle(in[i].Frame, batch)
+					// masterHandle forwards copies; the inbound frame is dead here.
+					netsim.ReleaseFrame(in[i].Frame)
+					in[i] = netsim.Inbound{}
+				}
+				batch.Flush()
 			}
 		}(q)
 	}
@@ -232,12 +245,16 @@ func (st *stage) start() {
 		st.wg.Add(1)
 		go func(q int) {
 			defer st.wg.Done()
+			in := make([]netsim.Inbound, st.cfg.Burst)
 			for {
-				in, ok := st.logger.Recv(q)
-				if !ok {
+				cnt := st.logger.RecvBurst(q, in)
+				if cnt == 0 {
 					return
 				}
-				st.loggerHandle(in)
+				for i := 0; i < cnt; i++ {
+					st.loggerHandle(in[i])
+					in[i] = netsim.Inbound{}
+				}
 			}
 		}(q)
 	}
@@ -293,8 +310,9 @@ func (st *stage) ilHandle(frame []byte) {
 
 // masterHandle processes one packet on the master: run the middlebox,
 // collect its PAL from the state accesses, send the PAL then the packet to
-// the OL.
-func (st *stage) masterHandle(frame []byte) {
+// the OL. Transactions run through the worker's state batch, which retains
+// partition locks across a burst; the caller flushes it at burst boundaries.
+func (st *stage) masterHandle(frame []byte, batch state.Batch) {
 	st.stallMu.RLock()
 	defer st.stallMu.RUnlock()
 
@@ -306,7 +324,7 @@ func (st *stage) masterHandle(frame []byte) {
 	pkt.DropTrailer() // drop upstream framing; middlebox sees a clean packet
 
 	var verdict core.Verdict
-	res, err := st.store.Exec(func(tx state.Txn) error {
+	res, err := batch.Exec(func(tx state.Txn) error {
 		v, perr := st.mb.Process(pkt, tx)
 		verdict = v
 		return perr

@@ -296,6 +296,34 @@ func (f *Fabric) transmit(l *link, n *Node, src NodeID, frame []byte, block bool
 	time.AfterFunc(delay, func() { f.deliver(n, src, buf, false) })
 }
 
+// transmitBurst applies the link profile to a burst of frames for one
+// destination. On the zero-profile fast path the profile pointer is loaded
+// once and the sent counter is bumped once for the whole burst; each frame
+// still copies, tail-drops, and flow-controls individually, so burst
+// delivery is byte-for-byte equivalent to a loop over transmit. Shaped or
+// lossy links fall back to per-frame transmit so loss, jitter, reordering,
+// and bandwidth serialization consume the link's rng and clock in exactly
+// the per-frame order they do today.
+func (f *Fabric) transmitBurst(l *link, n *Node, src NodeID, frames [][]byte, block bool) {
+	p := l.profile.Load()
+	if !p.fastPath() {
+		for _, frame := range frames {
+			f.transmit(l, n, src, frame, block)
+		}
+		return
+	}
+	f.sent.v.Add(uint64(len(frames)))
+	for _, frame := range frames {
+		if !block && n.full(frame) {
+			f.dropped.inc()
+			continue
+		}
+		buf := AcquireFrame(len(frame))
+		copy(buf, frame)
+		f.deliver(n, src, buf, block)
+	}
+}
+
 func (f *Fabric) deliver(n *Node, from NodeID, frame []byte, block bool) {
 	if n.enqueue(from, frame, block) {
 		f.delivered.inc()

@@ -72,16 +72,25 @@ func (n *Node) ID() NodeID { return n.id }
 // NumQueues reports the number of ingress queues.
 func (n *Node) NumQueues() int { return len(n.queues) }
 
+// pickQueue maps a frame to its ingress queue, clamping out-of-range
+// selector results to queue 0. full and enqueue share it so a racy or
+// non-deterministic selector can never make them disagree about which
+// queue a frame targets.
+func (n *Node) pickQueue(frame []byte) int {
+	if n.selector == nil || len(n.queues) <= 1 {
+		return 0
+	}
+	q := n.selector(frame, len(n.queues))
+	if q < 0 || q >= len(n.queues) {
+		return 0
+	}
+	return q
+}
+
 // full reports whether the queue the frame would select is at capacity.
 // Racy by design: it only biases overload toward cheap drops.
 func (n *Node) full(frame []byte) bool {
-	q := 0
-	if n.selector != nil && len(n.queues) > 1 {
-		q = n.selector(frame, len(n.queues))
-		if q < 0 || q >= len(n.queues) {
-			q = 0
-		}
-	}
+	q := n.pickQueue(frame)
 	return len(n.queues[q]) >= cap(n.queues[q])
 }
 
@@ -93,13 +102,7 @@ func (n *Node) enqueue(from NodeID, frame []byte, block bool) bool {
 	if n.crashed.Load() {
 		return false
 	}
-	q := 0
-	if n.selector != nil && len(n.queues) > 1 {
-		q = n.selector(frame, len(n.queues))
-		if q < 0 || q >= len(n.queues) {
-			q = 0
-		}
-	}
+	q := n.pickQueue(frame)
 	in := Inbound{From: from, Frame: frame}
 	if block {
 		select {
@@ -129,6 +132,35 @@ func (n *Node) Recv(q int) (in Inbound, ok bool) {
 	case <-n.crashCh:
 		return Inbound{}, false
 	}
+}
+
+// RecvBurst drains up to len(buf) frames from queue q into buf in one
+// channel round-trip: one blocking receive for the first frame, then a
+// non-blocking drain of whatever else is already queued. It returns the
+// number of frames received, or 0 once the node has crashed. This is the
+// vector-packet-processing ingress: a worker pays one goroutine wakeup per
+// burst instead of per frame. With len(buf) == 1 it behaves exactly like
+// Recv.
+func (n *Node) RecvBurst(q int, buf []Inbound) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	ch := n.queues[q]
+	select {
+	case buf[0] = <-ch:
+	case <-n.crashCh:
+		return 0
+	}
+	cnt := 1
+	for cnt < len(buf) {
+		select {
+		case buf[cnt] = <-ch:
+			cnt++
+		default:
+			return cnt
+		}
+	}
+	return cnt
 }
 
 // TryRecv receives without blocking.
@@ -164,18 +196,28 @@ func (n *Node) SendBlocking(dst NodeID, frame []byte) error {
 // atomic stop check, and a route-cache hit replace the fabric's map lookup
 // and RWMutex on every steady-state send.
 func (n *Node) sendCached(dst NodeID, frame []byte, block bool) error {
+	rt, err := n.resolve(dst)
+	if err != nil {
+		return err
+	}
+	n.fabric.transmit(rt.l, rt.n, n.id, frame, block)
+	return nil
+}
+
+// resolve returns the (link, destination) route for dst, consulting the
+// per-node route cache first and falling back to the fabric's node map.
+func (n *Node) resolve(dst NodeID) (*route, error) {
 	if n.crashed.Load() {
-		return ErrNodeCrashed
+		return nil, ErrNodeCrashed
 	}
 	f := n.fabric
 	if f.stopped.Load() {
-		return ErrFabricDown
+		return nil, ErrFabricDown
 	}
 	if v, ok := n.routes.Load(dst); ok {
 		rt := v.(*route)
 		if !rt.n.crashed.Load() {
-			f.transmit(rt.l, rt.n, n.id, frame, block)
-			return nil
+			return rt, nil
 		}
 		// The cached destination crashed. It may have been removed (and the
 		// purge raced with us) or even replaced by a new node under the same
@@ -186,16 +228,44 @@ func (n *Node) sendCached(dst NodeID, frame []byte, block bool) error {
 	dn := f.nodes[dst]
 	f.mu.RUnlock()
 	if dn == nil {
-		return ErrUnknownNode
+		return nil, ErrUnknownNode
 	}
 	l := f.getLink(n.id, dst)
+	rt := &route{l: l, n: dn}
 	if !dn.crashed.Load() {
 		// Cache only live destinations: a crashed-but-present node keeps
 		// taking the slow path, preserving drop accounting without pinning a
 		// dead entry.
-		n.routes.Store(dst, &route{l: l, n: dn})
+		n.routes.Store(dst, rt)
 	}
-	f.transmit(l, dn, n.id, frame, block)
+	return rt, nil
+}
+
+// SendBurst transmits a burst of frames to one destination, resolving the
+// route and the link profile once for the whole burst. Per-frame semantics
+// are identical to calling Send in a loop: each frame is copied, tail-drops
+// independently at a full destination queue, and shaped links schedule each
+// frame as they do today. With block set, zero-latency links exert per-frame
+// flow control like SendBlocking.
+func (n *Node) SendBurst(dst NodeID, frames [][]byte) error {
+	return n.sendBurst(dst, frames, false)
+}
+
+// SendBurstBlocking is SendBurst with link-level flow control between
+// pipeline stages (see SendBlocking).
+func (n *Node) SendBurstBlocking(dst NodeID, frames [][]byte) error {
+	return n.sendBurst(dst, frames, true)
+}
+
+func (n *Node) sendBurst(dst NodeID, frames [][]byte, block bool) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	rt, err := n.resolve(dst)
+	if err != nil {
+		return err
+	}
+	n.fabric.transmitBurst(rt.l, rt.n, n.id, frames, block)
 	return nil
 }
 

@@ -21,6 +21,9 @@ type Config struct {
 	Partitions int
 	Workers    int
 	QueueCap   int
+	// Burst is the receive/transmit burst size (default core.DefaultBurst).
+	// Burst 1 degenerates to per-packet processing.
+	Burst int
 }
 
 // WithDefaults fills zero fields.
@@ -34,6 +37,9 @@ func (c Config) WithDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1024
 	}
+	if c.Burst <= 0 {
+		c.Burst = core.DefaultBurst
+	}
 	return c
 }
 
@@ -43,6 +49,7 @@ type Node struct {
 	store *state.Store
 	sim   *netsim.Node
 	next  netsim.NodeID
+	burst int
 	wg    sync.WaitGroup
 
 	processed, dropped, errs atomic.Uint64
@@ -79,6 +86,7 @@ func NewChain(cfg Config, fabric *netsim.Fabric, name string, mbs []core.Middleb
 			store: state.New(cfg.Partitions),
 			sim:   sim,
 			next:  next,
+			burst: cfg.Burst,
 		})
 	}
 	return c
@@ -115,28 +123,46 @@ func (n *Node) start() {
 		n.wg.Add(1)
 		go func(q int) {
 			defer n.wg.Done()
+			in := make([]netsim.Inbound, n.burst)
+			out := make([][]byte, 0, n.burst)
+			batch := n.store.NewBatch()
 			for {
-				in, ok := n.sim.Recv(q)
-				if !ok {
+				cnt := n.sim.RecvBurst(q, in)
+				if cnt == 0 {
+					batch.Flush()
 					return
 				}
-				n.handle(in.Frame)
-				// handle never retains the frame (forwarding copies into the
-				// next hop's queue), so it can be recycled here.
-				netsim.ReleaseFrame(in.Frame)
+				for i := 0; i < cnt; i++ {
+					n.handle(in[i].Frame, batch, &out)
+				}
+				// One route resolution and one flow-control pass for the
+				// whole burst; the fabric copies frames on send, so the
+				// inbound frames can be recycled right after.
+				if len(out) > 0 {
+					_ = n.sim.SendBurstBlocking(n.next, out)
+					for i := range out {
+						out[i] = nil
+					}
+					out = out[:0]
+				}
+				batch.Flush()
+				for i := 0; i < cnt; i++ {
+					netsim.ReleaseFrame(in[i].Frame)
+					in[i] = netsim.Inbound{}
+				}
 			}
 		}(q)
 	}
 }
 
-func (n *Node) handle(frame []byte) {
+func (n *Node) handle(frame []byte, batch state.Batch, out *[][]byte) {
 	pkt, err := wire.Parse(frame)
 	if err != nil {
 		n.errs.Add(1)
 		return
 	}
 	var verdict core.Verdict
-	_, err = n.store.Exec(func(tx state.Txn) error {
+	_, err = batch.Exec(func(tx state.Txn) error {
 		v, perr := n.mb.Process(pkt, tx)
 		verdict = v
 		return perr
@@ -151,7 +177,7 @@ func (n *Node) handle(frame []byte) {
 	}
 	n.processed.Add(1)
 	if n.next != "" {
-		_ = n.sim.SendBlocking(n.next, pkt.Buf)
+		*out = append(*out, pkt.Buf)
 	}
 }
 

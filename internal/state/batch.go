@@ -1,0 +1,397 @@
+package state
+
+import "errors"
+
+// Batch amortizes transaction begin/commit cost across a burst of packet
+// transactions executed by one worker goroutine (vector packet processing,
+// DPDK-style). Transactions run through a batch have exactly the semantics
+// of Backend.Exec — serializable, atomically committed, automatically
+// re-executed on conflicts — but the engine may retain partition-level
+// locks between consecutive transactions, so a burst of packets hitting
+// the same partitions pays one acquisition instead of one per packet.
+//
+// A batch is owned by a single goroutine and is not safe for concurrent
+// use. Flush MUST be called at every burst boundary: it releases any locks
+// held across transactions so other workers (and non-transactional readers)
+// are never starved between bursts. The batch remains usable after Flush.
+// A batch that only ever sees Exec → Flush → Exec (burst size 1) behaves
+// identically to calling Backend.Exec directly.
+type Batch interface {
+	// Exec runs fn as a packet transaction within the batch.
+	Exec(fn func(tx Txn) error) (Result, error)
+	// ExecWithHook is Exec with a commit hook at the serialization point.
+	ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error)
+	// Flush releases partition locks retained across transactions. Called
+	// at burst boundaries; the batch remains usable afterwards.
+	Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Wound-wait 2PL engine
+// ---------------------------------------------------------------------------
+
+// lockBatch is the Store's batch: a long-lived holder transaction keeps the
+// partition locks acquired by the burst's transactions, and each Exec runs
+// against a view that reuses already-held locks. The holder participates in
+// wound-wait like any transaction — if an older transaction wounds it, the
+// next acquisition (or the next Exec) releases everything and retries, so
+// deadlock freedom is preserved.
+type lockBatch struct {
+	store *Store
+	hold  *lockTxn  // lock holder persisting across Execs within a burst
+	view  batchView // per-Exec scratch, reused
+}
+
+// NewBatch returns a batch context for one worker's bursts of transactions.
+func (s *Store) NewBatch() Batch {
+	b := &lockBatch{store: s}
+	b.hold = newTxn(s, s.tsCtr.Add(1))
+	b.view.batch = b
+	return b
+}
+
+// Exec implements Batch.
+func (b *lockBatch) Exec(fn func(tx Txn) error) (Result, error) {
+	return b.ExecWithHook(fn, nil)
+}
+
+// ExecWithHook implements Batch.
+func (b *lockBatch) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error) {
+	retries := 0
+	for {
+		// A wound that landed while the holder sat on locks between packets
+		// is honoured here: release everything and retry, exactly as Exec's
+		// retry loop does, keeping the original timestamp so the wounded
+		// holder eventually becomes oldest and wins.
+		if b.hold.isWounded() {
+			b.releaseHeld()
+			b.clearWound()
+		}
+		v := &b.view
+		v.reset()
+		err := fn(v)
+		if err == nil {
+			res := v.commit(onCommit)
+			res.Retries = retries
+			return res, nil
+		}
+		if errors.Is(err, ErrWounded) {
+			b.releaseHeld()
+			b.clearWound()
+			retries++
+			continue
+		}
+		// Voluntary abort: buffered writes die with the view; locks stay with
+		// the holder until the burst flushes (harmless — effects were never
+		// applied, and 2PL does not require early release).
+		return Result{}, err
+	}
+}
+
+// Flush implements Batch: release every held partition lock and start the
+// next burst as a fresh wound-wait participant.
+func (b *lockBatch) Flush() {
+	if len(b.hold.held) == 0 {
+		return
+	}
+	b.releaseHeld()
+	b.clearWound()
+	// A fresh timestamp per burst keeps the holder from aging into a
+	// permanent wound-everyone priority across bursts.
+	b.hold.ts = b.store.tsCtr.Add(1)
+}
+
+// releaseHeld unlocks every partition the holder owns. After it returns no
+// in-flight acquire can wound the holder (wounds happen under the plock
+// mutex that unlock also takes), so the wound state can be reset safely.
+func (b *lockBatch) releaseHeld() {
+	h := b.hold
+	for _, p := range h.held {
+		b.store.parts[p].lock.unlock(h)
+	}
+	h.held = h.heldArr[:0]
+}
+
+func (b *lockBatch) clearWound() {
+	h := b.hold
+	h.woundMu.Lock()
+	h.wounded = false
+	h.woundCh = nil
+	h.woundMu.Unlock()
+}
+
+// batchView is one transaction's state inside a lockBatch: its own touched
+// set, read-your-writes buffer, and write log, while lock ownership lives
+// with the batch holder. Reused across Execs by the owning worker.
+type batchView struct {
+	batch    *lockBatch
+	touched  []uint16
+	touchArr [4]uint16
+	writes   map[string]*Update // latest write per key (lazy)
+	writeLog []*Update          // program order, deduplicated by key
+}
+
+func (v *batchView) reset() {
+	v.touched = v.touchArr[:0]
+	if len(v.writeLog) > 0 {
+		clear(v.writes)
+		v.writeLog = v.writeLog[:0]
+	}
+}
+
+// lockPartition ensures the batch holder owns partition p and records it in
+// this transaction's touched set. Partitions already held by the burst are
+// free; new ones go through the ordinary wound-wait acquisition.
+func (v *batchView) lockPartition(p uint16) error {
+	for _, t := range v.touched {
+		if t == p {
+			return nil
+		}
+	}
+	h := v.batch.hold
+	held := false
+	for _, hp := range h.held {
+		if hp == p {
+			held = true
+			break
+		}
+	}
+	if !held {
+		if err := v.batch.store.parts[p].lock.acquire(h); err != nil {
+			return err
+		}
+		h.held = append(h.held, p)
+	}
+	v.touched = append(v.touched, p)
+	return nil
+}
+
+// Get reads a key within the batched transaction.
+func (v *batchView) Get(key string) ([]byte, bool, error) {
+	p := v.batch.store.PartitionOf(key)
+	if err := v.lockPartition(p); err != nil {
+		return nil, false, err
+	}
+	if w, ok := v.writes[key]; ok { // read-your-writes
+		if w.Value == nil {
+			return nil, false, nil
+		}
+		out := make([]byte, len(w.Value))
+		copy(out, w.Value)
+		return out, true, nil
+	}
+	part := &v.batch.store.parts[p]
+	part.mu.Lock()
+	val, ok := part.data[key]
+	part.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true, nil
+}
+
+// Put buffers a write, visible at commit.
+func (v *batchView) Put(key string, val []byte) error {
+	p := v.batch.store.PartitionOf(key)
+	if err := v.lockPartition(p); err != nil {
+		return err
+	}
+	buf := make([]byte, len(val))
+	copy(buf, val)
+	if w, ok := v.writes[key]; ok {
+		w.Value = buf
+		return nil
+	}
+	u := &Update{Key: key, Value: buf, Partition: p}
+	if v.writes == nil {
+		v.writes = make(map[string]*Update, 4)
+	}
+	v.writes[key] = u
+	v.writeLog = append(v.writeLog, u)
+	return nil
+}
+
+// Delete buffers a deletion.
+func (v *batchView) Delete(key string) error {
+	p := v.batch.store.PartitionOf(key)
+	if err := v.lockPartition(p); err != nil {
+		return err
+	}
+	if w, ok := v.writes[key]; ok {
+		w.Value = nil
+		return nil
+	}
+	u := &Update{Key: key, Value: nil, Partition: p}
+	if v.writes == nil {
+		v.writes = make(map[string]*Update, 4)
+	}
+	v.writes[key] = u
+	v.writeLog = append(v.writeLog, u)
+	return nil
+}
+
+// commit applies the buffered writes while the holder's locks are held and
+// invokes the hook at the serialization point. Locks are NOT released —
+// that is the batch's whole point; Flush returns them at the burst boundary.
+func (v *batchView) commit(onCommit func(Result)) Result {
+	res := Result{ReadOnly: len(v.writeLog) == 0}
+	for _, u := range v.writeLog {
+		part := &v.batch.store.parts[u.Partition]
+		part.mu.Lock()
+		if u.Value == nil {
+			delete(part.data, u.Key)
+		} else {
+			// u.Value was copied at Put and is immutable from here on: the
+			// store entry and the piggybacked update share it.
+			part.data[u.Key] = u.Value
+		}
+		part.mu.Unlock()
+		res.Updates = append(res.Updates, *u)
+	}
+	res.Touched = make([]uint16, len(v.touched))
+	copy(res.Touched, v.touched)
+	sortU16(res.Touched)
+	if onCommit != nil {
+		onCommit(res)
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic (OCC) engine
+// ---------------------------------------------------------------------------
+
+// occBatch is the OCCStore's batch: the partition mutexes taken at the last
+// commit stay held across transactions, so a burst of commits touching the
+// same partitions validates and installs without re-locking. Whenever the
+// touched set changes, every held mutex is released before the new set is
+// acquired in ascending order — acquisition always starts from zero, so two
+// batches can never hold-and-wait on each other.
+type occBatch struct {
+	store *OCCStore
+	held  []uint16 // partitions whose mu is currently held, ascending
+}
+
+// NewBatch returns a batch context for one worker's bursts of transactions.
+func (s *OCCStore) NewBatch() Batch {
+	return &occBatch{store: s}
+}
+
+func (b *occBatch) holds(p uint16) bool {
+	for _, h := range b.held {
+		if h == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Exec implements Batch.
+func (b *occBatch) Exec(fn func(tx Txn) error) (Result, error) {
+	return b.ExecWithHook(fn, nil)
+}
+
+// ExecWithHook implements Batch: Exec's optimistic retry loop with
+// batch-aware reads and commit.
+func (b *occBatch) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error) {
+	retries := 0
+	for {
+		tx := newOCCTxn(b.store)
+		tx.batch = b
+		if err := fn(tx); err != nil {
+			if errors.Is(err, ErrConflict) {
+				retries++
+				continue
+			}
+			return Result{}, err
+		}
+		res, err := tx.commitBatch(b, onCommit)
+		if errors.Is(err, ErrConflict) {
+			retries++
+			continue
+		}
+		res.Retries = retries
+		return res, err
+	}
+}
+
+// Flush implements Batch: release the partition mutexes held since the last
+// commit.
+func (b *occBatch) Flush() {
+	for i := len(b.held) - 1; i >= 0; i-- {
+		b.store.parts[b.held[i]].mu.Unlock()
+	}
+	b.held = b.held[:0]
+}
+
+// commitBatch validates and installs like occTxn.commit, but reuses the
+// mutexes the batch already holds when the touched set allows it, and keeps
+// the touched set's mutexes held for the next transaction in the burst.
+func (t *occTxn) commitBatch(b *occBatch, onCommit func(Result)) (Result, error) {
+	parts := make([]uint16, 0, len(t.touched))
+	for p := range t.touched {
+		parts = append(parts, p)
+	}
+	sortU16(parts)
+
+	same := len(parts) <= len(b.held)
+	if same {
+		for _, p := range parts {
+			if !b.holds(p) {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		// Touched set changed: release everything, then acquire the new set
+		// ascending from zero. Reads made before the acquisition are still
+		// guarded by the validation below.
+		b.Flush()
+		for _, p := range parts {
+			t.store.parts[p].mu.Lock()
+		}
+		b.held = append(b.held[:0], parts...)
+	}
+
+	// Validate: every read key must still be at the observed version.
+	for key, ver := range t.reads {
+		p := &t.store.parts[t.store.PartitionOf(key)]
+		e, ok := p.data[key]
+		cur := uint64(0)
+		if ok {
+			cur = e.version
+		}
+		if cur != ver {
+			// Locks stay with the batch: the retry re-reads under the same
+			// held set and validates again.
+			return Result{}, ErrConflict
+		}
+	}
+	res := Result{ReadOnly: len(t.writeLog) == 0, Touched: parts}
+	for _, u := range t.writeLog {
+		p := &t.store.parts[u.Partition]
+		if u.Value == nil {
+			delete(p.data, u.Key)
+		} else {
+			e := p.data[u.Key]
+			p.data[u.Key] = occEntry{val: u.Value, version: e.version + 1}
+		}
+		p.version++
+		res.Updates = append(res.Updates, *u)
+	}
+	if onCommit != nil {
+		onCommit(res)
+	}
+	return res, nil
+}
+
+// compile-time checks: both engines provide batches, and the views satisfy
+// the transaction interface.
+var (
+	_ Batch = (*lockBatch)(nil)
+	_ Batch = (*occBatch)(nil)
+	_ Txn   = (*batchView)(nil)
+)

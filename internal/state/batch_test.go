@@ -1,0 +1,334 @@
+package state
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// batchBackends returns both engines, since Batch semantics must be
+// identical behind the Backend interface.
+func batchBackends(t *testing.T) map[string]Backend {
+	t.Helper()
+	return map[string]Backend{
+		"2pl": New(8),
+		"occ": NewOCC(8),
+	}
+}
+
+// TestBatchMatchesExec runs the same transaction stream through plain Exec
+// and through a batch (flushing every 4 transactions) and checks the final
+// stores agree key for key.
+func TestBatchMatchesExec(t *testing.T) {
+	for name, _ := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Backend {
+				if name == "occ" {
+					return NewOCC(8)
+				}
+				return New(8)
+			}
+			run := func(exec func(fn func(tx Txn) error) (Result, error), flush func(), s Backend) {
+				for i := 0; i < 64; i++ {
+					key := fmt.Sprintf("k%d", i%7)
+					_, err := exec(func(tx Txn) error {
+						val, _, err := tx.Get(key)
+						if err != nil {
+							return err
+						}
+						buf := make([]byte, 8)
+						if len(val) == 8 {
+							binary.BigEndian.PutUint64(buf, binary.BigEndian.Uint64(val)+uint64(i))
+						} else {
+							binary.BigEndian.PutUint64(buf, uint64(i))
+						}
+						return tx.Put(key, buf)
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if i%4 == 3 {
+						flush()
+					}
+				}
+				flush()
+				_ = s
+			}
+
+			plain := mk()
+			run(plain.Exec, func() {}, plain)
+
+			batched := mk()
+			b := batched.NewBatch()
+			run(b.Exec, b.Flush, batched)
+
+			if plain.Len() != batched.Len() {
+				t.Fatalf("len mismatch: plain %d batched %d", plain.Len(), batched.Len())
+			}
+			for _, u := range plain.Snapshot() {
+				got, ok := batched.Get(u.Key)
+				if !ok {
+					t.Fatalf("key %q missing from batched store", u.Key)
+				}
+				if binary.BigEndian.Uint64(got) != binary.BigEndian.Uint64(u.Value) {
+					t.Fatalf("key %q: plain %d batched %d", u.Key,
+						binary.BigEndian.Uint64(u.Value), binary.BigEndian.Uint64(got))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchResultShape checks Updates/Touched/ReadOnly match plain Exec's
+// contract: updates in program order, touched sorted ascending.
+func TestBatchResultShape(t *testing.T) {
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := s.NewBatch()
+			defer b.Flush()
+			res, err := b.Exec(func(tx Txn) error {
+				if err := tx.Put("zz", []byte("1")); err != nil {
+					return err
+				}
+				if err := tx.Put("aa", []byte("2")); err != nil {
+					return err
+				}
+				return tx.Delete("zz")
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Updates) != 2 {
+				t.Fatalf("got %d updates, want 2 (deduplicated by key)", len(res.Updates))
+			}
+			if res.Updates[0].Key != "zz" || res.Updates[0].Value != nil {
+				t.Fatalf("update 0 = %+v, want zz deletion in program order", res.Updates[0])
+			}
+			if res.Updates[1].Key != "aa" {
+				t.Fatalf("update 1 = %+v, want aa", res.Updates[1])
+			}
+			for i := 1; i < len(res.Touched); i++ {
+				if res.Touched[i-1] >= res.Touched[i] {
+					t.Fatalf("touched not sorted: %v", res.Touched)
+				}
+			}
+			ro, err := b.Exec(func(tx Txn) error {
+				_, _, err := tx.Get("aa")
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ro.ReadOnly {
+				t.Fatal("read-only transaction not flagged ReadOnly")
+			}
+		})
+	}
+}
+
+// TestBatchHookAtomicity checks the commit hook observes the store with the
+// transaction's writes already applied (the serialization point), same as
+// ExecWithHook on the plain engines.
+func TestBatchHookAtomicity(t *testing.T) {
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := s.NewBatch()
+			defer b.Flush()
+			hooked := false
+			_, err := b.ExecWithHook(func(tx Txn) error {
+				return tx.Put("k", []byte("v"))
+			}, func(res Result) {
+				hooked = true
+				if len(res.Updates) != 1 || res.Updates[0].Key != "k" {
+					t.Errorf("hook saw updates %+v", res.Updates)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hooked {
+				t.Fatal("commit hook not invoked")
+			}
+		})
+	}
+}
+
+// TestBatchAbort checks a failing transaction inside a batch leaves no
+// trace and the batch stays usable.
+func TestBatchAbort(t *testing.T) {
+	errBoom := errors.New("boom")
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := s.NewBatch()
+			defer b.Flush()
+			_, err := b.Exec(func(tx Txn) error {
+				if err := tx.Put("k", []byte("doomed")); err != nil {
+					return err
+				}
+				return errBoom
+			})
+			if !errors.Is(err, errBoom) {
+				t.Fatalf("got err %v, want boom", err)
+			}
+			b.Flush() // burst boundary before reading outside the batch
+			if _, ok := s.Get("k"); ok {
+				t.Fatal("aborted write leaked into the store")
+			}
+			if _, err := b.Exec(func(tx Txn) error {
+				return tx.Put("k", []byte("good"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			b.Flush()
+			if v, ok := s.Get("k"); !ok || string(v) != "good" {
+				t.Fatalf("post-abort commit lost: %q %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestBatchConcurrent hammers one backend from batched and plain workers
+// concurrently; every worker increments disjoint-and-shared counters, and
+// the final sums must account for every committed increment (serializable
+// isolation despite locks retained across transactions).
+func TestBatchConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			incr := func(tx Txn, key string) error {
+				val, _, err := tx.Get(key)
+				if err != nil {
+					return err
+				}
+				var cur uint64
+				if len(val) == 8 {
+					cur = binary.BigEndian.Uint64(val)
+				}
+				buf := make([]byte, 8)
+				binary.BigEndian.PutUint64(buf, cur+1)
+				return tx.Put(key, buf)
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					useBatch := w%2 == 0
+					var b Batch
+					if useBatch {
+						b = s.NewBatch()
+					}
+					for i := 0; i < rounds; i++ {
+						fn := func(tx Txn) error {
+							if err := incr(tx, "shared"); err != nil {
+								return err
+							}
+							return incr(tx, fmt.Sprintf("own%d", w))
+						}
+						var err error
+						if useBatch {
+							_, err = b.Exec(fn)
+							if i%8 == 7 {
+								b.Flush()
+							}
+						} else {
+							_, err = s.Exec(fn)
+						}
+						if err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					if useBatch {
+						b.Flush()
+					}
+				}(w)
+			}
+			wg.Wait()
+			if v, _ := s.Get("shared"); binary.BigEndian.Uint64(v) != workers*rounds {
+				t.Fatalf("shared counter = %d, want %d", binary.BigEndian.Uint64(v), workers*rounds)
+			}
+			for w := 0; w < workers; w++ {
+				if v, _ := s.Get(fmt.Sprintf("own%d", w)); binary.BigEndian.Uint64(v) != rounds {
+					t.Fatalf("own%d = %d, want %d", w, binary.BigEndian.Uint64(v), rounds)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCrossPartitionConcurrent drives two batches whose transactions
+// roam across each other's partitions — the hold-and-wait shape that would
+// deadlock a naive lock-retaining batch. Completion within the test timeout
+// plus correct counts is the assertion.
+func TestBatchCrossPartitionConcurrent(t *testing.T) {
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			keys := make([]string, 16) // spread over all 8 partitions
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%d", i)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					b := s.NewBatch()
+					for i := 0; i < 300; i++ {
+						a, c := keys[(i+w)%len(keys)], keys[(i*3+w*5)%len(keys)]
+						_, err := b.Exec(func(tx Txn) error {
+							if _, _, err := tx.Get(a); err != nil {
+								return err
+							}
+							return tx.Put(c, []byte{byte(w)})
+						})
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if i%16 == 15 {
+							b.Flush()
+						}
+					}
+					b.Flush()
+				}(w)
+			}
+			wg.Wait()
+			_ = name
+		})
+	}
+}
+
+// TestBatchFlushReleasesLocks checks that after Flush a plain transaction
+// can immediately take partitions the batch had retained.
+func TestBatchFlushReleasesLocks(t *testing.T) {
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := s.NewBatch()
+			if _, err := b.Exec(func(tx Txn) error {
+				return tx.Put("k", []byte("v"))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			b.Flush()
+			done := make(chan error, 1)
+			go func() {
+				_, err := s.Exec(func(tx Txn) error {
+					return tx.Put("k", []byte("w"))
+				})
+				done <- err
+			}()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := s.Get("k"); string(v) != "w" {
+				t.Fatalf("k = %q after plain exec, want w", v)
+			}
+		})
+	}
+}

@@ -156,9 +156,12 @@ func (s *OCCStore) Restore(updates []Update) {
 	s.Apply(updates)
 }
 
-// occTxn is an in-flight optimistic transaction.
+// occTxn is an in-flight optimistic transaction. batch is non-nil when the
+// transaction runs inside an occBatch, whose held partition mutexes change
+// how reads synchronize (see Get).
 type occTxn struct {
 	store *OCCStore
+	batch *occBatch
 	reads map[string]uint64 // key → version observed (0 = absent)
 	// writes buffered in program order, deduplicated by key.
 	writes   map[string]*Update
@@ -188,9 +191,26 @@ func (t *occTxn) Get(key string) ([]byte, bool, error) {
 		return out, true, nil
 	}
 	p := &t.store.parts[pi]
-	p.mu.Lock()
+	// Inside a batch the partition mutex may already be ours (held since the
+	// last commit): read without locking. Blocking on a foreign partition
+	// while retaining our own would be hold-and-wait — two batches could
+	// deadlock — so release everything first; validation at commit covers
+	// the reads either way.
+	lock := true
+	if t.batch != nil {
+		if t.batch.holds(pi) {
+			lock = false
+		} else if len(t.batch.held) > 0 {
+			t.batch.Flush()
+		}
+	}
+	if lock {
+		p.mu.Lock()
+	}
 	e, ok := p.data[key]
-	p.mu.Unlock()
+	if lock {
+		p.mu.Unlock()
+	}
 	if !ok {
 		t.reads[key] = 0
 		return nil, false, nil

@@ -63,6 +63,9 @@ type Backend interface {
 	Restore(updates []Update)
 	Exec(fn func(tx Txn) error) (Result, error)
 	ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (Result, error)
+	// NewBatch returns a single-goroutine batch context that amortizes
+	// transaction begin/commit across a burst of Execs (see Batch).
+	NewBatch() Batch
 }
 
 // Update is one state mutation produced by a committed transaction: the

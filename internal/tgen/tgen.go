@@ -42,6 +42,10 @@ type Spec struct {
 	Dst wire.IPv4Addr
 	// Headroom reserved in each frame for FTC trailers.
 	Headroom int
+	// Burst is how many frames the generator stamps and hands to the fabric
+	// per transmit call (default 32, matching the data plane's receive
+	// burst). Burst 1 degenerates to per-packet sends.
+	Burst int
 }
 
 // WithDefaults fills zero fields.
@@ -69,6 +73,9 @@ func (s Spec) WithDefaults() Spec {
 	if s.Headroom <= 0 {
 		s.Headroom = 1024
 	}
+	if s.Burst <= 0 {
+		s.Burst = 32
+	}
 	return s
 }
 
@@ -78,6 +85,7 @@ type Generator struct {
 	node   *netsim.Node
 	target netsim.NodeID
 	frames [][]byte
+	burst  [][]byte // scratch reused by sendChunk
 	seq    atomic.Uint64
 	sent   metrics.Counter
 }
@@ -126,19 +134,56 @@ func (g *Generator) SendOne(i int) error { return g.sendOne(i) }
 // frames on Send, mutating the template in place between sends is safe with
 // a single sender goroutine per template range.
 func (g *Generator) sendOne(i int) error {
+	err := g.node.Send(g.target, g.stamp(i))
+	if err == nil {
+		g.sent.Inc()
+	}
+	return err
+}
+
+// stamp writes the next sequence number and a fresh timestamp into the i'th
+// template and disables the now-stale UDP checksum (legal for UDP/IPv4, the
+// way high-rate generators do).
+func (g *Generator) stamp(i int) []byte {
 	frame := g.frames[i%len(g.frames)]
 	payloadOff := wire.EthernetHeaderLen + wire.IPv4MinHeaderLen + wire.UDPHeaderLen
 	seq := g.seq.Add(1)
 	binary.BigEndian.PutUint64(frame[payloadOff+8:], seq)
 	binary.BigEndian.PutUint64(frame[payloadOff+16:], uint64(time.Now().UnixNano()))
-	// The UDP checksum no longer matches the stamped payload; disable it
-	// (legal for UDP/IPv4) the way high-rate generators do.
 	binary.BigEndian.PutUint16(frame[wire.EthernetHeaderLen+wire.IPv4MinHeaderLen+6:], 0)
-	err := g.node.Send(g.target, frame)
-	if err == nil {
-		g.sent.Inc()
+	return frame
+}
+
+// sendChunk stamps and transmits up to n frames starting at flow index i in
+// one fabric call: the route resolves once per chunk instead of once per
+// frame. Chunks are capped at the flow count — the fabric copies frames only
+// at transmit time, so a chunk must not contain the same mutable template
+// twice. Returns how many frames were handed to the fabric.
+func (g *Generator) sendChunk(i, n int) (int, error) {
+	if n > len(g.frames) {
+		n = len(g.frames)
 	}
-	return err
+	if n <= 1 {
+		if err := g.sendOne(i); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	if cap(g.burst) < n {
+		g.burst = make([][]byte, n)
+	}
+	b := g.burst[:n]
+	for k := 0; k < n; k++ {
+		b[k] = g.stamp(i + k)
+	}
+	err := g.node.SendBurst(g.target, b)
+	if err != nil {
+		return 0, err
+	}
+	// Per-frame semantics match Send: frames tail-drop independently at a
+	// full ingress, and sent counts offered frames either way.
+	g.sent.Add(uint64(n))
+	return n, nil
 }
 
 // Blast sends as fast as possible for the duration from one goroutine,
@@ -150,11 +195,13 @@ func (g *Generator) Blast(d time.Duration) uint64 {
 	deadline := time.Now().Add(d)
 	i := 0
 	for time.Now().Before(deadline) {
-		for k := 0; k < 64; k++ {
-			if g.sendOne(i) != nil {
+		for k := 0; k < 64; {
+			sent, err := g.sendChunk(i, g.spec.Burst)
+			if err != nil {
 				return g.sent.Value() - start
 			}
-			i++
+			i += sent
+			k += sent
 		}
 		// Yield so the measured pipeline gets CPU time: a hardware pktgen
 		// runs on its own machine, this one shares the scheduler.
@@ -180,11 +227,17 @@ func (g *Generator) Offer(rate float64, d time.Duration) uint64 {
 	next := time.Now()
 	i := 0
 	for time.Now().Before(deadline) {
-		for k := 0; k < batch; k++ {
-			if g.sendOne(i) != nil {
+		for k := 0; k < batch; {
+			n := g.spec.Burst
+			if rem := batch - k; n > rem {
+				n = rem
+			}
+			sent, err := g.sendChunk(i, n)
+			if err != nil {
 				return g.sent.Value() - start
 			}
-			i++
+			i += sent
+			k += sent
 		}
 		next = next.Add(interval)
 		if sleep := time.Until(next); sleep > 0 {
@@ -228,14 +281,18 @@ func (s *Sink) collect() {
 	defer s.wg.Done()
 	payloadMin := payloadHdrLen
 	var pkt wire.Packet // reused: collect is the only goroutine touching it
+	in := make([]netsim.Inbound, 32)
 	for {
-		in, ok := s.node.Recv(0)
-		if !ok {
+		cnt := s.node.RecvBurst(0, in)
+		if cnt == 0 {
 			return
 		}
-		s.account(&pkt, in.Frame, payloadMin)
-		// The sink is the end of the line: every frame goes back to the pool.
-		netsim.ReleaseFrame(in.Frame)
+		for i := 0; i < cnt; i++ {
+			s.account(&pkt, in[i].Frame, payloadMin)
+			// The sink is the end of the line: every frame goes back to the pool.
+			netsim.ReleaseFrame(in[i].Frame)
+			in[i] = netsim.Inbound{}
+		}
 	}
 }
 

@@ -1,0 +1,22 @@
+# Converts `go test -bench` output into the BENCH_<date>.json snapshot:
+# one record per benchmark with throughput (the custom pps metric), ns/op,
+# and allocs/op. Invoked by `make bench-json` with -v burst= and -v date=.
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"burst\": %s,\n  \"benchmarks\": [\n", date, burst
+    n = 0
+}
+/^Benchmark/ {
+    pps = ""; allocs = ""; nsop = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "pps") pps = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+        if ($i == "ns/op") nsop = $(i - 1)
+    }
+    if (pps == "") next   # skip benchmarks without a throughput metric
+    if (allocs == "") allocs = "null"
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"pps\": %s, \"ns_per_op\": %s, \"allocs_per_op\": %s}", $1, pps, nsop, allocs
+}
+END {
+    printf "\n  ]\n}\n"
+}
