@@ -5,7 +5,7 @@ GO ?= go
 BURST ?= 32
 DATE  := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet race bench-smoke bench-fig5 bench-json ci
+.PHONY: all build test vet doclint race bench-smoke bench-fig5 bench-bridge bench-json ci
 
 all: build vet test
 
@@ -18,10 +18,17 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Doc-comment lint: the deployment-path packages must keep every exported
+# symbol documented (the README walkthrough links to their godoc).
+doclint:
+	$(GO) run scripts/doclint.go internal/trans cmd/ftcd cmd/ftcgen
+
 # Race-check the packages that share frames and scratch buffers across
-# goroutines: the pooled-frame ownership rules live here.
+# goroutines: the pooled-frame ownership rules live here. internal/trans
+# covers the burst tunnel (packing, socket drain, burst injection) and its
+# burst-equivalence/crash tests.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/core/...
+	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/...
 
 # Fast allocation gate: runs the zero-alloc fast-path benchmark a fixed
 # number of iterations so CI can catch an allocation regression in seconds.
@@ -32,18 +39,26 @@ bench-smoke:
 bench-fig5:
 	$(GO) test . -run=NONE -bench=Fig5 -benchtime=2s -benchmem
 
+# Multi-process transport benchmark: loopback tunnel throughput at
+# burst=1 (per-packet datagrams) vs burst=32 (packed datagrams).
+bench-bridge:
+	$(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=2s -benchmem
+
 # Machine-readable benchmark snapshot: runs the Figure 5 and Figure 7
-# benchmarks at the configured burst size and writes BENCH_<date>.json
-# with pps, ns/op, and allocs/op per sub-benchmark.
+# benchmarks at the configured burst size, plus the multi-process bridge
+# benchmark (both burst sizes), and writes BENCH_<date>.json with pps,
+# ns/op, and allocs/op per sub-benchmark.
 #   make bench-json            # default burst (32)
 #   make bench-json BURST=1    # per-packet baseline for comparison
 bench-json:
-	FTC_BURST=$(BURST) $(GO) test . -run=NONE -bench='Fig5|Fig7' -benchtime=2s -benchmem \
+	{ FTC_BURST=$(BURST) $(GO) test . -run=NONE -bench='Fig5|Fig7' -benchtime=2s -benchmem ; \
+	  $(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=2s -benchmem ; } \
 		| tee /dev/stderr \
 		| awk -v burst=$(BURST) -v date=$(DATE) -f scripts/bench_json.awk \
 		> BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
-# The full pre-merge gate: build, vet, allocation smoke benchmarks, the
-# race-sensitive packages under -race, and the whole test suite.
-ci: build vet bench-smoke race test
+# The full pre-merge gate: build, vet, doc lint, allocation smoke
+# benchmarks, the race-sensitive packages under -race, and the whole test
+# suite.
+ci: build vet doclint bench-smoke race test

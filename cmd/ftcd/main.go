@@ -8,11 +8,18 @@
 //	     -listen-udp :7000 -listen-tcp :7100 \
 //	     -peer 1=127.0.0.1:7001/127.0.0.1:7101 \
 //	     -peer 2=127.0.0.1:7002/127.0.0.1:7102 \
+//	     -burst 32 -mtu-budget 8972 \
 //	     -egress 127.0.0.1:7999
 //	ftcd -index 1 ... (and so on for each ring position)
 //
-// Traffic enters by sending raw frames (as built by ftcgen) to replica 0's
-// UDP address; released packets leave from the last replica to -egress.
+// The data plane speaks the batched tunnel format of DESIGN.md §8: each
+// UDP datagram packs up to -burst length-prefixed frames bound for the
+// same peer, flushed early when a datagram would exceed -mtu-budget bytes.
+// -burst also sets the replica's in-process vector-processing batch size,
+// so one knob tunes the whole pipeline; -burst 1 reproduces the per-packet
+// transport. Traffic enters by sending packed frames (as ftcgen sends
+// them) to replica 0's UDP address; released packets leave from the last
+// replica to -egress in the same packed format.
 package main
 
 import (
@@ -86,6 +93,8 @@ func main() {
 		listenUDP = flag.String("listen-udp", "127.0.0.1:0", "data-plane listen address")
 		listenTCP = flag.String("listen-tcp", "127.0.0.1:0", "control-plane listen address")
 		egress    = flag.String("egress", "", "UDP address released packets are sent to (last replica only)")
+		burst     = flag.Int("burst", core.DefaultBurst, "frames per batch, in-process and on the tunnel (1 = per-packet)")
+		mtuBudget = flag.Int("mtu-budget", trans.DefaultMTUBudget, "tunnel datagram packing budget in bytes")
 	)
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "remote ring node: index=udpaddr[/tcpaddr] (repeatable)")
@@ -102,7 +111,7 @@ func main() {
 		log.Fatalf("ftcd: %v", err)
 	}
 
-	cfg := core.Config{F: *f, NumMB: numMB, Workers: *workers}.WithDefaults()
+	cfg := core.Config{F: *f, NumMB: numMB, Workers: *workers, Burst: *burst}.WithDefaults()
 	ring := cfg.Ring()
 	if *index < 0 || *index >= ring.M() {
 		log.Fatalf("ftcd: index %d out of ring range 0..%d", *index, ring.M()-1)
@@ -150,7 +159,8 @@ func main() {
 	replica.Start()
 	defer replica.Stop()
 
-	bridge, err := trans.NewBridge(fabric, local.ID(), *listenUDP, *listenTCP, peerList)
+	bridge, err := trans.NewBridge(fabric, local.ID(), *listenUDP, *listenTCP, peerList,
+		trans.Config{Burst: *burst, MTUBudget: *mtuBudget})
 	if err != nil {
 		log.Fatalf("ftcd: %v", err)
 	}
@@ -161,7 +171,8 @@ func main() {
 		mbDesc = mb.Name()
 	}
 	log.Printf("ftcd: ring %d/%d hosting %s", *index, ring.M(), mbDesc)
-	log.Printf("ftcd: data plane %s, control plane %s", udpAddr, tcpAddr)
+	log.Printf("ftcd: data plane %s, control plane %s (burst %d, mtu budget %d)",
+		udpAddr, tcpAddr, cfg.Burst, *mtuBudget)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -170,4 +181,8 @@ func main() {
 	log.Printf("ftcd: rx=%d tx=%d egress=%d filtered=%d repairs=%d",
 		s.RxFrames.Load(), s.TxFrames.Load(), s.Egress.Load(),
 		s.Filtered.Load(), s.Repairs.Load())
+	ts := bridge.Stats()
+	log.Printf("ftcd: tunnel out=%d frames/%d dgrams in=%d frames/%d dgrams oversize=%d truncated=%d",
+		ts.FramesOut, ts.DatagramsOut, ts.FramesIn, ts.DatagramsIn,
+		ts.OversizeDrops, ts.TruncatedDatagrams)
 }

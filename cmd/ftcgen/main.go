@@ -3,6 +3,14 @@
 // chain's ingress and/or receives released packets, reporting throughput
 // and latency.
 //
+// Both directions speak the batched tunnel format of DESIGN.md §8: every
+// datagram packs one or more length-prefixed frames. The generator
+// coalesces up to -burst frames per datagram, but only when it is behind
+// its -rate schedule — whenever pacing calls for a sleep the pending
+// datagram is flushed first, so latency measurements stay per-packet
+// honest at low rates and full bursts form only under load. The sink
+// unpacks every datagram it receives from a chain's -egress.
+//
 // Generate against a chain and measure its egress:
 //
 //	ftcgen -target 127.0.0.1:7000 -listen 127.0.0.1:7999 -rate 50000 -duration 10s
@@ -10,6 +18,10 @@
 // Sink-only (run before pointing a chain's -egress here):
 //
 //	ftcgen -listen 127.0.0.1:7999 -duration 60s
+//
+// Maximum-throughput blast with full coalescing:
+//
+//	ftcgen -target 127.0.0.1:7000 -listen 127.0.0.1:7999 -rate 0 -burst 32
 package main
 
 import (
@@ -34,6 +46,8 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run time")
 		size     = flag.Int("size", 256, "frame size in bytes")
 		flows    = flag.Int("flows", 64, "distinct flows")
+		burst    = flag.Int("burst", 32, "max frames coalesced per ingress datagram (1 = per-packet)")
+		budget   = flag.Int("mtu-budget", trans.DefaultMTUBudget, "ingress datagram packing budget in bytes")
 	)
 	flag.Parse()
 	if *target == "" && *listen == "" {
@@ -65,8 +79,9 @@ func main() {
 		}
 		defer conn.Close()
 		frames := buildFrames(*flows, *size)
-		log.Printf("ftcgen: offering %.0f pps to %s for %v", *rate, *target, *duration)
-		sent = generate(conn, frames, *rate, *duration)
+		log.Printf("ftcgen: offering %.0f pps to %s for %v (burst %d, mtu budget %d)",
+			*rate, *target, *duration, *burst, *budget)
+		sent = generate(conn, frames, *rate, *duration, *burst, *budget)
 	} else {
 		time.Sleep(*duration)
 	}
@@ -113,13 +128,36 @@ func buildFrames(flows, size int) [][]byte {
 	return out
 }
 
-func generate(conn net.Conn, frames [][]byte, rate float64, d time.Duration) uint64 {
+// generate stamps and sends workload frames in the packed tunnel format,
+// coalescing up to burst frames (within the MTU budget) per datagram.
+// The pending datagram is flushed before every pacing sleep, so datagrams
+// only fill when the generator is behind schedule: -rate 0 (maximum load)
+// sends full bursts, low rates send one frame per datagram.
+func generate(conn net.Conn, frames [][]byte, rate float64, d time.Duration, burst, budget int) uint64 {
+	if burst < 1 {
+		burst = 1
+	}
 	payloadOff := wire.EthernetHeaderLen + wire.IPv4MinHeaderLen + wire.UDPHeaderLen
 	var seq, sent uint64
 	deadline := time.Now().Add(d)
 	var interval time.Duration
 	if rate > 0 {
 		interval = time.Duration(float64(time.Second) / rate)
+	}
+	dgram := make([]byte, 0, budget+trans.MaxFrame)
+	inBatch := 0
+	flush := func() bool {
+		if len(dgram) == 0 {
+			return true
+		}
+		_, err := conn.Write(dgram)
+		dgram = dgram[:0]
+		inBatch = 0
+		if err != nil {
+			log.Printf("ftcgen: send: %v", err)
+			return false
+		}
+		return true
 	}
 	next := time.Now()
 	for i := 0; time.Now().Before(deadline); i++ {
@@ -128,40 +166,61 @@ func generate(conn net.Conn, frames [][]byte, rate float64, d time.Duration) uin
 		binary.BigEndian.PutUint64(frame[payloadOff+8:], seq)
 		binary.BigEndian.PutUint64(frame[payloadOff+16:], uint64(time.Now().UnixNano()))
 		binary.BigEndian.PutUint16(frame[payloadOff-2:], 0) // zero UDP checksum
-		if _, err := conn.Write(frame); err != nil {
-			log.Printf("ftcgen: send: %v", err)
+		if len(dgram) > 0 && len(dgram)+2+len(frame) > budget {
+			if !flush() {
+				break
+			}
+		}
+		var err error
+		if dgram, err = trans.AppendFrame(dgram, frame); err != nil {
+			log.Printf("ftcgen: %v", err)
 			break
 		}
 		sent++
+		inBatch++
+		if inBatch >= burst && !flush() {
+			break
+		}
 		if interval > 0 {
 			next = next.Add(interval)
 			if sleep := time.Until(next); sleep > 0 {
+				if !flush() {
+					break
+				}
 				time.Sleep(sleep)
 			}
 		}
 	}
+	flush()
 	return sent
 }
 
+// sinkLoop receives packed egress datagrams, unpacking every tunneled
+// frame and recording its latency from the embedded timestamp.
 func sinkLoop(conn *net.UDPConn, hist *metrics.Histogram, received *metrics.Counter) {
-	buf := make([]byte, trans.MaxFrame)
+	buf := make([]byte, trans.MaxDatagram)
 	for {
 		n, _, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
 		now := time.Now().UnixNano()
-		p, err := wire.Parse(buf[:n])
-		if err != nil {
-			continue
-		}
-		received.Inc()
-		pay := p.Payload()
-		if len(pay) >= 24 && binary.BigEndian.Uint32(pay[0:4]) == 0xF7C0BEEF {
-			ts := int64(binary.BigEndian.Uint64(pay[16:24]))
-			if ts > 0 && now > ts {
-				hist.Record(time.Duration(now - ts))
+		splitErr := trans.SplitFrames(buf[:n], func(frame []byte) {
+			p, err := wire.Parse(frame)
+			if err != nil {
+				return
 			}
+			received.Inc()
+			pay := p.Payload()
+			if len(pay) >= 24 && binary.BigEndian.Uint32(pay[0:4]) == 0xF7C0BEEF {
+				ts := int64(binary.BigEndian.Uint64(pay[16:24]))
+				if ts > 0 && now > ts {
+					hist.Record(time.Duration(now - ts))
+				}
+			}
+		})
+		if splitErr != nil {
+			log.Printf("ftcgen: sink: %v", splitErr)
 		}
 	}
 }

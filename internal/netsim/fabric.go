@@ -216,6 +216,29 @@ func (f *Fabric) Send(src, dst NodeID, frame []byte) error {
 	return f.send(src, dst, frame, false)
 }
 
+// SendBurst transmits a burst of frames from src to dst, resolving the
+// destination and link profile once for the whole burst. Per-frame
+// semantics are identical to calling Send in a loop (each frame is copied
+// and tail-drops independently); like Send, it is usable from sources that
+// are not fabric nodes — the trans bridge injects each received tunnel
+// batch this way.
+func (f *Fabric) SendBurst(src, dst NodeID, frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if f.stopped.Load() {
+		return ErrFabricDown
+	}
+	f.mu.RLock()
+	n := f.nodes[dst]
+	f.mu.RUnlock()
+	if n == nil {
+		return ErrUnknownNode
+	}
+	f.transmitBurst(f.getLink(src, dst), n, src, frames, false)
+	return nil
+}
+
 // send resolves the destination and link without a route cache; node-level
 // sends go through Node.sendCached instead.
 func (f *Fabric) send(src, dst NodeID, frame []byte, block bool) error {

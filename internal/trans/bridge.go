@@ -5,6 +5,15 @@
 // nodes standing in for its remote peers; the bridge shuttles frames and
 // RPCs between the proxies and the network.
 //
+// The data plane moves bursts, not packets: frames bound for the same peer
+// are coalesced into batched datagrams (one length-prefixed record per
+// frame, see frame.go and DESIGN.md §8) up to Config.MTUBudget bytes, and
+// the receive loop drains whatever the socket already holds before
+// injecting the whole batch into the local fabric with one
+// netsim.Fabric.SendBurst call — the socket-transport mirror of the
+// in-process RecvBurst/SendBurst discipline. Partial bursts flush
+// immediately, so Burst=1 and light load keep per-packet latency.
+//
 // This is the deployment path cmd/ftcd uses. The protocol logic is byte-
 // identical to the in-process fabric — the bridge only moves frames.
 package trans
@@ -16,13 +25,48 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/ftsfc/ftc/internal/netsim"
 )
 
-// MaxFrame is the largest tunneled frame (jumbo frame + trailer headroom).
-const MaxFrame = 16 * 1024
+// DefaultBurst is the default number of frames a bridge moves per wakeup,
+// matching core.DefaultBurst (the paper testbed's DPDK burst of 32).
+const DefaultBurst = 32
+
+// Config tunes a bridge's batching behaviour.
+type Config struct {
+	// Burst is the maximum number of frames coalesced per proxy-drain
+	// wakeup on the send side and per injection batch on the receive
+	// side. 1 degenerates to the per-packet transport. Defaults to
+	// DefaultBurst.
+	Burst int
+	// MTUBudget is the per-datagram packing budget in bytes: a datagram
+	// is flushed before a frame whose record would push the packed size
+	// past the budget. A frame above the budget (but within MaxFrame)
+	// travels alone in its own datagram. Defaults to DefaultMTUBudget.
+	MTUBudget int
+	// SocketBuf, if non-zero, requests this many bytes of kernel
+	// send and receive buffering on the tunnel's UDP socket
+	// (SO_SNDBUF/SO_RCVBUF). Bursty chains on small default buffers
+	// drop tail-of-burst datagrams under load; sizing for a few
+	// bandwidth-delay products of traffic smooths them out. Zero keeps
+	// the OS default.
+	SocketBuf int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (c Config) withDefaults() Config {
+	if c.Burst <= 0 {
+		c.Burst = DefaultBurst
+	}
+	if c.MTUBudget <= 0 {
+		c.MTUBudget = DefaultMTUBudget
+	}
+	return c
+}
 
 // Peer describes a remote process hosting one fabric node.
 type Peer struct {
@@ -36,16 +80,50 @@ type Peer struct {
 	TCPAddr string
 }
 
+// peerState is a registered peer plus its pre-resolved data-plane address,
+// so the send path pays the DNS/parse cost once per AddPeer instead of
+// once per burst.
+type peerState struct {
+	peer Peer
+	addr *net.UDPAddr
+}
+
+// Stats is a point-in-time snapshot of a bridge's tunnel counters.
+type Stats struct {
+	// FramesOut and FramesIn count tunneled data-plane frames.
+	FramesOut, FramesIn uint64
+	// DatagramsOut and DatagramsIn count the UDP datagrams carrying
+	// them; FramesOut/DatagramsOut is the achieved send coalescing.
+	DatagramsOut, DatagramsIn uint64
+	// OversizeDrops counts frames rejected on send for exceeding
+	// MaxFrame (see FrameTooLargeError).
+	OversizeDrops uint64
+	// TruncatedDatagrams counts received datagrams that ended
+	// mid-record; their complete leading frames were still delivered.
+	TruncatedDatagrams uint64
+}
+
 // Bridge tunnels one local fabric node's traffic to remote peers.
 type Bridge struct {
 	fabric  *netsim.Fabric
 	localID netsim.NodeID
+	cfg     Config
 
 	udp *net.UDPConn
 	tcp net.Listener
 
+	// rawUDP is the udp socket's raw-control handle, resolved lazily by
+	// the Linux non-blocking drain (tryReadMore); nil where unsupported.
+	rawOnce sync.Once
+	rawUDP  syscall.RawConn
+
 	mu    sync.Mutex
-	peers map[netsim.NodeID]Peer
+	peers map[netsim.NodeID]*peerState
+
+	framesOut, framesIn       atomic.Uint64
+	datagramsOut, datagramsIn atomic.Uint64
+	oversizeDrops             atomic.Uint64
+	truncatedDatagrams        atomic.Uint64
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -54,8 +132,9 @@ type Bridge struct {
 
 // NewBridge creates a bridge for the given local node, listening on the
 // UDP and TCP addresses, with proxy nodes for each peer. Pass empty listen
-// addresses to pick ephemeral ports (see Addrs).
-func NewBridge(fabric *netsim.Fabric, localID netsim.NodeID, listenUDP, listenTCP string, peers []Peer) (*Bridge, error) {
+// addresses to pick ephemeral ports (see Addrs); the zero Config selects
+// the default burst and MTU budget.
+func NewBridge(fabric *netsim.Fabric, localID netsim.NodeID, listenUDP, listenTCP string, peers []Peer, cfg Config) (*Bridge, error) {
 	if listenUDP == "" {
 		listenUDP = "127.0.0.1:0"
 	}
@@ -70,6 +149,11 @@ func NewBridge(fabric *netsim.Fabric, localID netsim.NodeID, listenUDP, listenTC
 	if err != nil {
 		return nil, fmt.Errorf("trans: listen udp: %w", err)
 	}
+	if cfg.SocketBuf > 0 {
+		// Best effort: the kernel clamps to its rmem/wmem limits.
+		_ = uc.SetReadBuffer(cfg.SocketBuf)
+		_ = uc.SetWriteBuffer(cfg.SocketBuf)
+	}
 	tl, err := net.Listen("tcp", listenTCP)
 	if err != nil {
 		uc.Close()
@@ -78,9 +162,10 @@ func NewBridge(fabric *netsim.Fabric, localID netsim.NodeID, listenUDP, listenTC
 	b := &Bridge{
 		fabric:  fabric,
 		localID: localID,
+		cfg:     cfg.withDefaults(),
 		udp:     uc,
 		tcp:     tl,
-		peers:   make(map[netsim.NodeID]Peer),
+		peers:   make(map[netsim.NodeID]*peerState),
 		stopped: make(chan struct{}),
 	}
 	for _, p := range peers {
@@ -100,13 +185,30 @@ func (b *Bridge) Addrs() (udp, tcp string) {
 	return b.udp.LocalAddr().String(), b.tcp.Addr().String()
 }
 
+// Stats snapshots the bridge's tunnel counters.
+func (b *Bridge) Stats() Stats {
+	return Stats{
+		FramesOut:          b.framesOut.Load(),
+		FramesIn:           b.framesIn.Load(),
+		DatagramsOut:       b.datagramsOut.Load(),
+		DatagramsIn:        b.datagramsIn.Load(),
+		OversizeDrops:      b.oversizeDrops.Load(),
+		TruncatedDatagrams: b.truncatedDatagrams.Load(),
+	}
+}
+
 // AddPeer registers (or updates) a remote peer, creating its local proxy
 // node if needed. The proxy forwards data frames over UDP and control RPCs
-// over TCP.
+// over TCP. The data-plane address is resolved here, once, so an
+// unresolvable peer fails loudly instead of black-holing frames.
 func (b *Bridge) AddPeer(p Peer) error {
+	addr, err := net.ResolveUDPAddr("udp", p.UDPAddr)
+	if err != nil {
+		return fmt.Errorf("trans: resolve peer %s udp %q: %w", p.ID, p.UDPAddr, err)
+	}
 	b.mu.Lock()
 	_, existed := b.peers[p.ID]
-	b.peers[p.ID] = p
+	b.peers[p.ID] = &peerState{peer: p, addr: addr}
 	b.mu.Unlock()
 	if existed {
 		return nil
@@ -123,43 +225,124 @@ func (b *Bridge) AddPeer(p Peer) error {
 	return nil
 }
 
+// peerAddr returns the pre-resolved data-plane address for a peer, or nil
+// if the peer is unknown.
+func (b *Bridge) peerAddr(id netsim.NodeID) *net.UDPAddr {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ps := b.peers[id]; ps != nil {
+		return ps.addr
+	}
+	return nil
+}
+
 // rpcNames lists the control RPCs proxied across processes. Kept in sync
 // with the core package's control plane.
 var rpcNames = []string{"ftc.repair", "ftc.fetch", "ftc.setgen", "ftc.setroute", "ftc.ping"}
 
-// drainProxy tunnels frames the local replica sends to a proxy node.
+// drainProxy tunnels frames the local replica sends to a proxy node,
+// coalescing each drained burst into MTU-budget-sized datagrams. RecvBurst
+// pays one wakeup per burst and returns immediately with whatever is
+// queued, so a partial burst (even a single frame under light load) is
+// flushed without delay — batching never adds a latency floor.
 func (b *Bridge) drainProxy(proxy *netsim.Node) {
 	defer b.wg.Done()
+	in := make([]netsim.Inbound, b.cfg.Burst)
+	dgram := make([]byte, 0, b.cfg.MTUBudget+frameHdrLen+MaxFrame)
 	for {
-		in, ok := proxy.Recv(0)
-		if !ok {
+		n := proxy.RecvBurst(0, in)
+		if n == 0 {
 			return
 		}
-		b.mu.Lock()
-		peer, ok := b.peers[proxy.ID()]
-		b.mu.Unlock()
-		if !ok {
-			continue
+		addr := b.peerAddr(proxy.ID())
+		for i := 0; i < n; i++ {
+			frame := in[i].Frame
+			in[i] = netsim.Inbound{}
+			if addr == nil {
+				netsim.ReleaseFrame(frame)
+				continue
+			}
+			if len(dgram) > 0 && len(dgram)+frameHdrLen+len(frame) > b.cfg.MTUBudget {
+				b.writeDatagram(dgram, addr)
+				dgram = dgram[:0]
+			}
+			var err error
+			if dgram, err = AppendFrame(dgram, frame); err != nil {
+				b.oversizeDrops.Add(1)
+			} else {
+				b.framesOut.Add(1)
+			}
+			netsim.ReleaseFrame(frame)
 		}
-		addr, err := net.ResolveUDPAddr("udp", peer.UDPAddr)
-		if err != nil {
-			continue
+		if len(dgram) > 0 {
+			b.writeDatagram(dgram, addr)
+			dgram = dgram[:0]
 		}
-		_, _ = b.udp.WriteToUDP(in.Frame, addr)
 	}
 }
 
-// udpLoop injects inbound tunneled frames into the local node.
+// writeDatagram sends one packed datagram to a peer. Like a real NIC, send
+// failures (e.g. a crashed peer's closed port) are not reported upstream —
+// the chain's repair path owns loss recovery.
+func (b *Bridge) writeDatagram(dgram []byte, addr *net.UDPAddr) {
+	b.datagramsOut.Add(1)
+	_, _ = b.udp.WriteToUDP(dgram, addr)
+}
+
+// udpLoop is the tunnel ingress: it blocks for one datagram, then drains
+// whatever else the socket already holds (non-blocking, Linux; see
+// drain_linux.go) until a burst of frames is assembled, and injects the
+// whole batch into the local node with one Fabric.SendBurst — the mirror
+// of netsim.RecvBurst's one-wakeup-per-burst discipline.
 func (b *Bridge) udpLoop() {
 	defer b.wg.Done()
-	buf := make([]byte, MaxFrame)
+	// One receive buffer per datagram that can contribute to a burst:
+	// unpacked frames alias their datagram's buffer until SendBurst
+	// copies them, so each drained datagram needs its own.
+	nbufs := b.cfg.Burst
+	if nbufs > maxDrainDatagrams {
+		nbufs = maxDrainDatagrams
+	}
+	bufs := make([][]byte, nbufs)
+	for i := range bufs {
+		bufs[i] = make([]byte, MaxDatagram)
+	}
+	frames := make([][]byte, 0, b.cfg.Burst)
 	for {
-		n, _, err := b.udp.ReadFromUDP(buf)
+		n, _, err := b.udp.ReadFromUDP(bufs[0])
 		if err != nil {
 			return
 		}
-		_ = b.fabric.Send("trans-wan", b.localID, buf[:n])
+		frames = b.unpack(frames[:0], bufs[0][:n])
+		for i := 1; i < nbufs && len(frames) < b.cfg.Burst; i++ {
+			n, ok := b.tryReadMore(bufs[i])
+			if !ok {
+				break
+			}
+			frames = b.unpack(frames, bufs[i][:n])
+		}
+		if len(frames) > 0 {
+			b.framesIn.Add(uint64(len(frames)))
+			_ = b.fabric.SendBurst("trans-wan", b.localID, frames)
+		}
 	}
+}
+
+// maxDrainDatagrams bounds how many already-queued datagrams the receive
+// loop drains per wakeup (and thus its buffer footprint); each datagram
+// can itself carry a full burst, so a small bound suffices.
+const maxDrainDatagrams = 8
+
+// unpack splits one received datagram into frames, appending them to dst.
+func (b *Bridge) unpack(dst [][]byte, dgram []byte) [][]byte {
+	b.datagramsIn.Add(1)
+	err := SplitFrames(dgram, func(frame []byte) {
+		dst = append(dst, frame)
+	})
+	if err != nil {
+		b.truncatedDatagrams.Add(1)
+	}
+	return dst
 }
 
 // Close shuts the bridge down, crashing the proxy nodes so their drain
@@ -186,6 +369,11 @@ func (b *Bridge) Close() {
 
 // ---- control plane framing: u32 total | u16 nameLen | name | payload ----
 // ---- response: u32 total | u8 status | payload-or-error ----
+//
+// Control RPCs ride per-call TCP connections, fully independent of the UDP
+// data plane: a control call is ordered against data-plane bursts only by
+// the protocol's own sequencing (commit vectors, generations), never by
+// the transport. See DESIGN.md §8.
 
 func writeRequest(w io.Writer, name string, payload []byte) error {
 	total := 2 + len(name) + len(payload)
@@ -259,12 +447,12 @@ func readResponse(r io.Reader) ([]byte, error) {
 // forwardRPC tunnels one control call to the peer over TCP.
 func (b *Bridge) forwardRPC(peerID netsim.NodeID, name string, req []byte) ([]byte, error) {
 	b.mu.Lock()
-	peer, ok := b.peers[peerID]
+	ps := b.peers[peerID]
 	b.mu.Unlock()
-	if !ok || peer.TCPAddr == "" {
+	if ps == nil || ps.peer.TCPAddr == "" {
 		return nil, fmt.Errorf("trans: no control address for %s", peerID)
 	}
-	conn, err := net.DialTimeout("tcp", peer.TCPAddr, 5*time.Second)
+	conn, err := net.DialTimeout("tcp", ps.peer.TCPAddr, 5*time.Second)
 	if err != nil {
 		return nil, err
 	}

@@ -23,11 +23,19 @@ type proc struct {
 
 func ringID(i int) netsim.NodeID { return netsim.NodeID(fmt.Sprintf("ftc-r%d", i)) }
 
+// chainOpts tunes the multi-process test harness.
+type chainOpts struct {
+	egressAddr string
+	burst      int                        // 0: defaults
+	newMB      func(i int) core.Middlebox // nil: monitor everywhere
+}
+
 // startChainProcs boots an n-replica chain where every replica lives in its
 // own fabric and frames cross real UDP loopback sockets.
-func startChainProcs(t *testing.T, n int, egressAddr string) []*proc {
+func startChainProcs(t *testing.T, n int, opts chainOpts) ([]*proc, core.Config) {
 	t.Helper()
-	cfg := core.Config{F: 1, NumMB: n, Workers: 2, PropagateEvery: time.Millisecond}.WithDefaults()
+	egressAddr := opts.egressAddr
+	cfg := core.Config{F: 1, NumMB: n, Workers: 2, Burst: opts.burst, PropagateEvery: time.Millisecond}.WithDefaults()
 	ring := cfg.Ring()
 	procs := make([]*proc, ring.M())
 	udpAddrs := make([]string, ring.M())
@@ -50,13 +58,17 @@ func startChainProcs(t *testing.T, n int, egressAddr string) []*proc {
 		}
 		var mb core.Middlebox
 		if i < n {
-			mb = mbox.NewMonitor(1, cfg.Workers)
+			if opts.newMB != nil {
+				mb = opts.newMB(i)
+			} else {
+				mb = mbox.NewMonitor(1, cfg.Workers)
+			}
 		}
 		rep := core.NewReplica(cfg, core.ReplicaSpec{
 			Index: i, Sim: local, Fabric: fabric,
 			RingIDs: ringIDs, Egress: egressID, MB: mb,
 		})
-		bridge, err := NewBridge(fabric, local.ID(), "", "", nil)
+		bridge, err := NewBridge(fabric, local.ID(), "", "", nil, Config{Burst: cfg.Burst})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +100,43 @@ func startChainProcs(t *testing.T, n int, egressAddr string) []*proc {
 		}
 	})
 	_ = udpAddrs
-	return procs
+	return procs, cfg
+}
+
+// sinkFrames listens on a UDP socket for packed egress datagrams and
+// forwards every tunneled frame (copied) to the returned channel.
+func sinkFrames(t *testing.T, sinkConn *net.UDPConn) chan []byte {
+	t.Helper()
+	got := make(chan []byte, 4096)
+	go func() {
+		buf := make([]byte, MaxDatagram)
+		for {
+			n, _, err := sinkConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if err := SplitFrames(buf[:n], func(frame []byte) {
+				got <- append([]byte(nil), frame...)
+			}); err != nil {
+				// Report on the channel's terms: a truncated egress
+				// datagram means a framing bug, surfaced by the
+				// receive-count assertion timing out.
+				return
+			}
+		}
+	}()
+	return got
+}
+
+// packFrame wraps one raw frame in the tunnel's datagram format for
+// ingress injection.
+func packFrame(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	dgram, err := AppendFrame(nil, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dgram
 }
 
 func TestBridgeChainOverRealSockets(t *testing.T) {
@@ -98,21 +146,9 @@ func TestBridgeChainOverRealSockets(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sinkConn.Close()
-	got := make(chan []byte, 1024)
-	go func() {
-		buf := make([]byte, MaxFrame)
-		for {
-			n, _, err := sinkConn.ReadFromUDP(buf)
-			if err != nil {
-				return
-			}
-			frame := make([]byte, n)
-			copy(frame, buf[:n])
-			got <- frame
-		}
-	}()
+	got := sinkFrames(t, sinkConn)
 
-	procs := startChainProcs(t, 3, sinkConn.LocalAddr().String())
+	procs, _ := startChainProcs(t, 3, chainOpts{egressAddr: sinkConn.LocalAddr().String()})
 
 	// Ingress: send raw frames to replica 0's UDP address.
 	ingressAddr, _ := procs[0].bridge.Addrs()
@@ -133,7 +169,7 @@ func TestBridgeChainOverRealSockets(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := ingress.Write(p.Buf); err != nil {
+		if _, err := ingress.Write(packFrame(t, p.Buf)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -188,7 +224,7 @@ func TestBridgeChainOverRealSockets(t *testing.T) {
 }
 
 func TestBridgeControlRPCAcrossSockets(t *testing.T) {
-	procs := startChainProcs(t, 2, "")
+	procs, _ := startChainProcs(t, 2, chainOpts{})
 	// Cross-process ping: proc0's proxy for r1 forwards over TCP to proc1.
 	ok := core.Ping(context.Background(), procs[0].fabric, ringID(0), ringID(1), 5*time.Second)
 	if !ok {

@@ -1,0 +1,35 @@
+//go:build linux
+
+package trans
+
+import "syscall"
+
+// tryReadMore performs one non-blocking read of an already-queued datagram
+// into p, reporting its length and whether one was available. It is the
+// drain half of the receive loop's one-wakeup-per-burst discipline: after
+// the blocking read returns the first datagram, MSG_DONTWAIT recvfrom
+// calls (recvmmsg's portable little sibling — golang.org/x/net's
+// ReadBatch is not a dependency of this repo) scoop up whatever else the
+// socket buffer holds without ever sleeping, so an idle socket costs
+// nothing and a busy one is drained in a single wakeup.
+func (b *Bridge) tryReadMore(p []byte) (int, bool) {
+	b.rawOnce.Do(func() {
+		// A failure here (exotic socket state) just disables draining;
+		// the loop still moves one datagram per wakeup.
+		b.rawUDP, _ = b.udp.SyscallConn()
+	})
+	if b.rawUDP == nil {
+		return 0, false
+	}
+	var n int
+	var serr error
+	err := b.rawUDP.Read(func(fd uintptr) bool {
+		n, _, serr = syscall.Recvfrom(int(fd), p, syscall.MSG_DONTWAIT)
+		// Always done: EAGAIN means "drained", not "wait for more".
+		return true
+	})
+	if err != nil || serr != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package trans
+
+// tryReadMore is the non-Linux stub of the receive loop's non-blocking
+// socket drain: it never reports a datagram, so each wakeup moves exactly
+// one datagram. Senders still coalesce a full burst into that datagram, so
+// the syscall amortization survives; only the cross-datagram drain is a
+// Linux (MSG_DONTWAIT) specialization.
+func (b *Bridge) tryReadMore(p []byte) (int, bool) {
+	return 0, false
+}

@@ -1,0 +1,163 @@
+package trans
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/netsim"
+)
+
+func TestFramePackRoundtrip(t *testing.T) {
+	frames := [][]byte{
+		[]byte("alpha"),
+		bytes.Repeat([]byte{0xAB}, 1500),
+		{0x00}, // single zero byte is a valid frame
+		bytes.Repeat([]byte{0xCD}, MaxFrame),
+	}
+	var dgram []byte
+	var err error
+	for _, f := range frames {
+		if dgram, err = AppendFrame(dgram, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	if err := SplitFrames(dgram, func(f []byte) {
+		got = append(got, append([]byte(nil), f...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("round-tripped %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Fatalf("frame %d mismatch: %d bytes vs %d", i, len(got[i]), len(frames[i]))
+		}
+	}
+}
+
+func TestFrameEmptySkipped(t *testing.T) {
+	dgram, err := AppendFrame(nil, nil)
+	if err != nil || len(dgram) != 0 {
+		t.Fatalf("empty frame: dgram=%d bytes, err=%v", len(dgram), err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	big := make([]byte, MaxFrame+1)
+	dgram, err := AppendFrame([]byte("prefix"), big)
+	var fe *FrameTooLargeError
+	if !errors.As(err, &fe) {
+		t.Fatalf("err = %v, want *FrameTooLargeError", err)
+	}
+	if fe.Size != MaxFrame+1 {
+		t.Fatalf("reported size = %d, want %d", fe.Size, MaxFrame+1)
+	}
+	if string(dgram) != "prefix" {
+		t.Fatalf("dst modified on rejection: %q", dgram)
+	}
+}
+
+func TestSplitFramesTruncation(t *testing.T) {
+	full, err := AppendFrame(nil, []byte("complete"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		dgram []byte
+	}{
+		{"half header", append(append([]byte(nil), full...), 0x00)},
+		{"record cut short", append(append([]byte(nil), full...), 0x00, 0x10, 'x')},
+		{"zero-length record", append(append([]byte(nil), full...), 0x00, 0x00)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got [][]byte
+			err := SplitFrames(tc.dgram, func(f []byte) {
+				got = append(got, append([]byte(nil), f...))
+			})
+			if !errors.Is(err, ErrTruncatedDatagram) {
+				t.Fatalf("err = %v, want ErrTruncatedDatagram", err)
+			}
+			if len(got) != 1 || string(got[0]) != "complete" {
+				t.Fatalf("leading frames lost: %q", got)
+			}
+		})
+	}
+}
+
+// TestBridgeOversizeDrop proves the send-side MaxFrame validation: an
+// oversize frame handed to a proxy is counted and dropped whole — it
+// neither truncates on the wire nor stalls later traffic.
+func TestBridgeOversizeDrop(t *testing.T) {
+	peerConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerConn.Close()
+
+	fabric := netsim.New(netsim.Config{})
+	defer fabric.Stop()
+	fabric.AddNode("local", netsim.NodeConfig{})
+	bridge, err := NewBridge(fabric, "local", "", "", []Peer{
+		{ID: "peer", UDPAddr: peerConn.LocalAddr().String()},
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	big := make([]byte, MaxFrame+1)
+	if err := fabric.Send("ext", "peer", big); err != nil {
+		t.Fatal(err)
+	}
+	small := []byte("fits")
+	if err := fabric.Send("ext", "peer", small); err != nil {
+		t.Fatal(err)
+	}
+
+	peerConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, MaxDatagram)
+	var got [][]byte
+	for len(got) == 0 {
+		n, _, err := peerConn.ReadFromUDP(buf)
+		if err != nil {
+			t.Fatalf("peer socket: %v", err)
+		}
+		if err := SplitFrames(buf[:n], func(f []byte) {
+			got = append(got, append([]byte(nil), f...))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 1 || string(got[0]) != "fits" {
+		t.Fatalf("peer received %d frames, first %q; want only %q", len(got), got[0], small)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for bridge.Stats().OversizeDrops == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("oversize drop not counted: stats %+v", bridge.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := bridge.Stats(); s.OversizeDrops != 1 || s.FramesOut != 1 {
+		t.Fatalf("stats = %+v, want 1 oversize drop and 1 frame out", s)
+	}
+}
+
+func TestUnresolvablePeerRejected(t *testing.T) {
+	fabric := netsim.New(netsim.Config{})
+	defer fabric.Stop()
+	fabric.AddNode("local", netsim.NodeConfig{})
+	_, err := NewBridge(fabric, "local", "", "", []Peer{
+		{ID: "ghost", UDPAddr: "no-such-host.invalid:bogus"},
+	}, Config{})
+	if err == nil {
+		t.Fatal("unresolvable peer accepted")
+	}
+}

@@ -1,0 +1,134 @@
+//go:build ignore
+
+// Command doclint enforces the godoc contract on selected packages: every
+// exported top-level symbol (and the package itself) must carry a doc
+// comment. It is part of `make ci` for the packages whose documentation
+// the deployment walkthrough depends on (internal/trans, cmd/ftcd,
+// cmd/ftcgen).
+//
+// Usage: go run scripts/doclint.go <dir> [<dir>...]
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <dir> [<dir>...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file in dir and reports exported
+// declarations lacking doc comments. Returns the number of findings.
+func lintDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s:%d: %s has no doc comment\n", filepath.ToSlash(p.Filename), p.Line, what)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			// Attribute the finding to any one file of the package.
+			for name, f := range pkg.Files {
+				fmt.Fprintf(os.Stderr, "%s: package %s has no package doc comment\n",
+					filepath.ToSlash(name), pkg.Name)
+				bad++
+				_ = f
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					name := d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						// Only methods on exported receivers matter for godoc.
+						if recvName, exported := receiver(d.Recv.List[0].Type); !exported {
+							continue
+						} else {
+							name = recvName + "." + name
+						}
+					}
+					report(d.Pos(), "func "+name)
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// lintGenDecl checks exported types, vars, and consts. A doc comment on
+// the grouped declaration covers all its specs, matching godoc rendering.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(n.Pos(), d.Tok.String()+" "+n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiver extracts a method receiver's type name and whether it is
+// exported.
+func receiver(expr ast.Expr) (string, bool) {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name, t.IsExported()
+		default:
+			return "", false
+		}
+	}
+}
