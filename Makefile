@@ -5,7 +5,7 @@ GO ?= go
 BURST ?= 32
 DATE  := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet doclint race bench-smoke bench-fig5 bench-bridge bench-json ci
+.PHONY: all build test vet doclint race stress bench-smoke bench-fig5 bench-bridge bench-json ci
 
 all: build vet test
 
@@ -30,6 +30,15 @@ doclint:
 race:
 	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/...
 
+# Scheduler stress gate: the burst/steal equivalence proofs (identical
+# delivered sets + state digests across burst 1/32/adaptive and steal
+# on/off under deterministic loss) and the per-queue FIFO hammer, three
+# times each under -race, to shake out claim-migration races that a single
+# run can miss.
+stress:
+	$(GO) test -race -count=3 -run 'TestBurstEquivalence|TestStealEquivalence' ./internal/core/
+	$(GO) test -race -count=3 -run 'TestQueueSchedPerQueueFIFO|TestQueueSchedSteal|TestQueueSchedReleaseRings' ./internal/netsim/
+
 # Fast allocation gate: runs the zero-alloc fast-path benchmark a fixed
 # number of iterations so CI can catch an allocation regression in seconds.
 bench-smoke:
@@ -45,11 +54,14 @@ bench-bridge:
 	$(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=2s -benchmem
 
 # Machine-readable benchmark snapshot: runs the Figure 5 and Figure 7
-# benchmarks at the configured burst size, plus the multi-process bridge
-# benchmark (both burst sizes), and writes BENCH_<date>.json with pps,
+# benchmarks at the configured burst size — including the skewed
+# elephant-queue benchmark (BenchmarkFig5Skewed, steal vs nosteal; the
+# steal win needs ≥2 physical cores, see DESIGN.md §9) — plus the
+# multi-process bridge benchmark, and writes BENCH_<date>.json with pps,
 # ns/op, and allocs/op per sub-benchmark.
 #   make bench-json            # default burst (32)
 #   make bench-json BURST=1    # per-packet baseline for comparison
+#   make bench-json BURST=0    # adaptive NAPI-style burst sizing
 bench-json:
 	{ FTC_BURST=$(BURST) $(GO) test . -run=NONE -bench='Fig5|Fig7' -benchtime=2s -benchmem ; \
 	  $(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=2s -benchmem ; } \
@@ -59,6 +71,6 @@ bench-json:
 	@echo wrote BENCH_$(DATE).json
 
 # The full pre-merge gate: build, vet, doc lint, allocation smoke
-# benchmarks, the race-sensitive packages under -race, and the whole test
-# suite.
-ci: build vet doclint bench-smoke race test
+# benchmarks, the race-sensitive packages under -race, the scheduler
+# stress gate, and the whole test suite.
+ci: build vet doclint bench-smoke race stress test

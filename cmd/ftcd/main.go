@@ -93,7 +93,10 @@ func main() {
 		listenUDP = flag.String("listen-udp", "127.0.0.1:0", "data-plane listen address")
 		listenTCP = flag.String("listen-tcp", "127.0.0.1:0", "control-plane listen address")
 		egress    = flag.String("egress", "", "UDP address released packets are sent to (last replica only)")
-		burst     = flag.Int("burst", core.DefaultBurst, "frames per batch, in-process and on the tunnel (1 = per-packet)")
+		burst     = flag.Int("burst", 0, "frames per batch, in-process and on the tunnel (0 = adaptive NAPI-style sizing, 1 = per-packet)")
+		maxBurst  = flag.Int("max-burst", netsim.DefaultMaxBurst, "adaptive burst ceiling (with -burst 0)")
+		noSteal   = flag.Bool("no-steal", false, "pin workers 1:1 onto ingress queues instead of work stealing")
+		stealFact = flag.Int("steal-factor", core.DefaultStealFactor, "steal partitions per worker (with stealing enabled)")
 		mtuBudget = flag.Int("mtu-budget", trans.DefaultMTUBudget, "tunnel datagram packing budget in bytes")
 	)
 	peers := peerFlags{}
@@ -111,7 +114,8 @@ func main() {
 		log.Fatalf("ftcd: %v", err)
 	}
 
-	cfg := core.Config{F: *f, NumMB: numMB, Workers: *workers, Burst: *burst}.WithDefaults()
+	cfg := core.Config{F: *f, NumMB: numMB, Workers: *workers, Burst: *burst,
+		MaxBurst: *maxBurst, NoSteal: *noSteal, StealFactor: *stealFact}.WithDefaults()
 	ring := cfg.Ring()
 	if *index < 0 || *index >= ring.M() {
 		log.Fatalf("ftcd: index %d out of ring range 0..%d", *index, ring.M()-1)
@@ -121,7 +125,7 @@ func main() {
 	defer fabric.Stop()
 
 	local := fabric.AddNode(ringID(*index), netsim.NodeConfig{
-		Queues:   *workers,
+		Queues:   cfg.NumIngressQueues(),
 		QueueCap: 4096,
 		Selector: wire.RSSSelector,
 	})
@@ -171,8 +175,12 @@ func main() {
 		mbDesc = mb.Name()
 	}
 	log.Printf("ftcd: ring %d/%d hosting %s", *index, ring.M(), mbDesc)
-	log.Printf("ftcd: data plane %s, control plane %s (burst %d, mtu budget %d)",
-		udpAddr, tcpAddr, cfg.Burst, *mtuBudget)
+	burstDesc := fmt.Sprintf("%d", cfg.Burst)
+	if cfg.Burst == 0 {
+		burstDesc = fmt.Sprintf("adaptive(max %d)", cfg.MaxBurst)
+	}
+	log.Printf("ftcd: data plane %s, control plane %s (burst %s, %d ingress queues, mtu budget %d)",
+		udpAddr, tcpAddr, burstDesc, local.NumQueues(), *mtuBudget)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -185,4 +193,8 @@ func main() {
 	log.Printf("ftcd: tunnel out=%d frames/%d dgrams in=%d frames/%d dgrams oversize=%d truncated=%d",
 		ts.FramesOut, ts.DatagramsOut, ts.FramesIn, ts.DatagramsIn,
 		ts.OversizeDrops, ts.TruncatedDatagrams)
+	sched := replica.Sched()
+	log.Printf("ftcd: sched steals=%d burst=%d clamps=%d queue depths=%v",
+		sched.Steals.Value(), sched.Burst.Value(), local.Clamps(),
+		local.QueueDepths(nil))
 }

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"time"
 
@@ -46,12 +47,16 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run time")
 		size     = flag.Int("size", 256, "frame size in bytes")
 		flows    = flag.Int("flows", 64, "distinct flows")
+		skew     = flag.Float64("skew", 0, "Zipf flow-popularity parameter s > 1 (0 = uniform round-robin); flow 0 becomes the elephant")
 		burst    = flag.Int("burst", 32, "max frames coalesced per ingress datagram (1 = per-packet)")
 		budget   = flag.Int("mtu-budget", trans.DefaultMTUBudget, "ingress datagram packing budget in bytes")
 	)
 	flag.Parse()
 	if *target == "" && *listen == "" {
 		log.Fatal("ftcgen: need -target and/or -listen")
+	}
+	if *skew != 0 && *skew <= 1 {
+		log.Fatalf("ftcgen: -skew %g invalid: the Zipf parameter must exceed 1", *skew)
 	}
 
 	hist := metrics.NewHistogram()
@@ -79,9 +84,15 @@ func main() {
 		}
 		defer conn.Close()
 		frames := buildFrames(*flows, *size)
-		log.Printf("ftcgen: offering %.0f pps to %s for %v (burst %d, mtu budget %d)",
-			*rate, *target, *duration, *burst, *budget)
-		sent = generate(conn, frames, *rate, *duration, *burst, *budget)
+		pick := func(i int) int { return i % len(frames) }
+		if *skew > 1 {
+			// Seeded draw so repeated runs offer the same flow sequence.
+			z := rand.NewZipf(rand.New(rand.NewSource(1)), *skew, 1, uint64(len(frames)-1))
+			pick = func(int) int { return int(z.Uint64()) }
+		}
+		log.Printf("ftcgen: offering %.0f pps to %s for %v (burst %d, skew %g, mtu budget %d)",
+			*rate, *target, *duration, *burst, *skew, *budget)
+		sent = generate(conn, frames, pick, *rate, *duration, *burst, *budget)
 	} else {
 		time.Sleep(*duration)
 	}
@@ -133,7 +144,7 @@ func buildFrames(flows, size int) [][]byte {
 // The pending datagram is flushed before every pacing sleep, so datagrams
 // only fill when the generator is behind schedule: -rate 0 (maximum load)
 // sends full bursts, low rates send one frame per datagram.
-func generate(conn net.Conn, frames [][]byte, rate float64, d time.Duration, burst, budget int) uint64 {
+func generate(conn net.Conn, frames [][]byte, pick func(int) int, rate float64, d time.Duration, burst, budget int) uint64 {
 	if burst < 1 {
 		burst = 1
 	}
@@ -161,7 +172,9 @@ func generate(conn net.Conn, frames [][]byte, rate float64, d time.Duration, bur
 	}
 	next := time.Now()
 	for i := 0; time.Now().Before(deadline); i++ {
-		frame := frames[i%len(frames)]
+		// AppendFrame copies the frame into the datagram immediately, so a
+		// skewed pick repeating one flow within a datagram cannot alias.
+		frame := frames[pick(i)]
 		seq++
 		binary.BigEndian.PutUint64(frame[payloadOff+8:], seq)
 		binary.BigEndian.PutUint64(frame[payloadOff+16:], uint64(time.Now().UnixNano()))

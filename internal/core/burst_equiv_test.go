@@ -88,6 +88,13 @@ func storeDigest(h *testHarness) string {
 	return sb.String()
 }
 
+// workloadOpts selects one scheduling configuration for runSchedWorkload.
+type workloadOpts struct {
+	burst   int // 0 = adaptive controller
+	workers int
+	noSteal bool
+}
+
 // runBurstWorkload pushes n packets through a fresh chain at the given burst
 // size. Loss is confined to the generator→ingress link: its per-link rng is
 // seeded from the fabric seed and consumed in send order, and the single test
@@ -96,10 +103,21 @@ func storeDigest(h *testHarness) string {
 // links are reliable and flow-controlled, so every survivor must egress.
 // Returns the sorted delivered IDs and the converged state digest.
 func runBurstWorkload(t *testing.T, burst, n int, newStore func(int) state.Backend) ([]int, string) {
+	return runSchedWorkload(t, workloadOpts{burst: burst, workers: 1}, n, newStore)
+}
+
+// runSchedWorkload is runBurstWorkload generalized over worker count and
+// scheduler mode, for the stealing/adaptive equivalence proofs. The
+// delivered set stays a pure function of the fabric seed because loss
+// happens on the generator link before any scheduling decision, and the
+// state digest stays order-independent because the workload's middleboxes
+// only bump commutative per-flow counters.
+func runSchedWorkload(t *testing.T, o workloadOpts, n int, newStore func(int) state.Backend) ([]int, string) {
 	t.Helper()
 	cfg := testConfig()
-	cfg.Workers = 1
-	cfg.Burst = burst
+	cfg.Workers = o.workers
+	cfg.Burst = o.burst
+	cfg.NoSteal = o.noSteal
 	cfg.NewStore = newStore
 	mbs := []Middlebox{&flowMB{"a"}, &countMB{"c1"}, &flowMB{"b"}}
 	h := newHarness(t, cfg, mbs, netsim.Config{Seed: 42})
@@ -112,10 +130,10 @@ func runBurstWorkload(t *testing.T, burst, n int, newStore func(int) state.Backe
 	seen := make(map[int]bool, len(ids))
 	for _, id := range ids {
 		if seen[id] {
-			t.Fatalf("burst=%d: packet %d delivered twice", burst, id)
+			t.Fatalf("%+v: packet %d delivered twice", o, id)
 		}
 		if id < 0 || id >= n {
-			t.Fatalf("burst=%d: delivered unknown packet %d", burst, id)
+			t.Fatalf("%+v: delivered unknown packet %d", o, id)
 		}
 		seen[id] = true
 	}
@@ -157,6 +175,60 @@ func TestBurstEquivalence(t *testing.T) {
 			}
 			if dig1 != dig32 {
 				t.Fatalf("state digests diverge:\nburst=1:\n%s\nburst=32:\n%s", dig1, dig32)
+			}
+		})
+	}
+}
+
+// TestStealEquivalence is the scheduling counterpart of
+// TestBurstEquivalence: with two workers, every scheduler configuration —
+// pinned workers vs work stealing, and fixed burst 1 / fixed burst 32 /
+// the adaptive controller — must deliver exactly the same packets under
+// deterministic ingress loss and converge every head and follower store to
+// exactly the same state, on both concurrency-control engines. Claim
+// migration between workers must be invisible in the output.
+func TestStealEquivalence(t *testing.T) {
+	engines := []struct {
+		name     string
+		newStore func(int) state.Backend
+	}{
+		{"2pl", nil},
+		{"occ", func(p int) state.Backend { return state.NewOCC(p) }},
+	}
+	variants := []struct {
+		name string
+		o    workloadOpts
+	}{
+		{"nosteal-fixed32", workloadOpts{burst: 32, workers: 2, noSteal: true}},
+		{"steal-fixed32", workloadOpts{burst: 32, workers: 2}},
+		{"steal-fixed1", workloadOpts{burst: 1, workers: 2}},
+		{"steal-adaptive", workloadOpts{burst: 0, workers: 2}},
+		{"nosteal-adaptive", workloadOpts{burst: 0, workers: 2, noSteal: true}},
+	}
+	const n = 400
+	for _, e := range engines {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			refIDs, refDig := runSchedWorkload(t, variants[0].o, n, e.newStore)
+			if len(refIDs) == 0 || len(refIDs) == n {
+				t.Fatalf("loss link ineffective: %d of %d delivered", len(refIDs), n)
+			}
+			for _, v := range variants[1:] {
+				ids, dig := runSchedWorkload(t, v.o, n, e.newStore)
+				if len(ids) != len(refIDs) {
+					t.Fatalf("%s delivered %d packets, %s delivered %d",
+						variants[0].name, len(refIDs), v.name, len(ids))
+				}
+				for i := range ids {
+					if ids[i] != refIDs[i] {
+						t.Fatalf("delivered sets diverge at %d: %s has %d, %s has %d",
+							i, variants[0].name, refIDs[i], v.name, ids[i])
+					}
+				}
+				if dig != refDig {
+					t.Fatalf("state digests diverge:\n%s:\n%s\n%s:\n%s",
+						variants[0].name, refDig, v.name, dig)
+				}
 			}
 		})
 	}

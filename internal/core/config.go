@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"github.com/ftsfc/ftc/internal/netsim"
 	"github.com/ftsfc/ftc/internal/state"
 )
 
@@ -24,8 +25,25 @@ type Config struct {
 	// state-lock acquisition, retransmission-buffer appends, and commit
 	// dissemination across them (DPDK-style burst processing). Partial
 	// bursts flush immediately, so bursting adds no latency floor; Burst=1
-	// degenerates to per-packet processing.
+	// degenerates to per-packet processing. Burst 0 — the default — selects
+	// the NAPI-style adaptive controller: each worker's burst starts at 1,
+	// doubles toward MaxBurst while its queue stays backlogged, and halves
+	// toward 1 when drains come up short (DESIGN.md §9).
 	Burst int
+	// MaxBurst caps the adaptive controller's growth (default
+	// netsim.DefaultMaxBurst). Ignored when Burst > 0 pins a fixed size.
+	MaxBurst int
+	// NoSteal pins workers 1:1 onto ingress queues (the pre-stealing
+	// layout). By default, with Workers > 1, each replica node exposes
+	// Workers×StealFactor ingress queues that double as steal-granularity
+	// flow partitions: a worker drains its home partitions first and steals
+	// the deepest backlogged sibling partition when they run empty,
+	// preserving per-flow FIFO order (DESIGN.md §9).
+	NoSteal bool
+	// StealFactor is the number of flow partitions (ingress queues) per
+	// worker when stealing is enabled (default 8). More partitions steal at
+	// a finer grain but cost more scan work per scheduling decision.
+	StealFactor int
 	// QueueCap is the per-ingress-queue capacity in frames.
 	QueueCap int
 	// PropagateEvery is the forwarder's idle timer: with no incoming
@@ -65,8 +83,17 @@ func (c Config) WithDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
-	if c.Burst <= 0 {
-		c.Burst = DefaultBurst
+	if c.Burst < 0 {
+		c.Burst = 0 // adaptive
+	}
+	if c.MaxBurst <= 0 {
+		c.MaxBurst = netsim.DefaultMaxBurst
+	}
+	if c.Burst > c.MaxBurst {
+		c.MaxBurst = c.Burst
+	}
+	if c.StealFactor <= 0 {
+		c.StealFactor = DefaultStealFactor
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1024
@@ -98,9 +125,37 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// DefaultBurst is the default vector-processing batch size, matching the
-// paper testbed's DPDK burst of 32 frames per poll.
+// DefaultBurst is the classic fixed vector-processing batch size, matching
+// the paper testbed's DPDK burst of 32 frames per poll. Since the adaptive
+// controller became the default (Burst=0), it remains the fixed-burst
+// reference point for baselines and equivalence tests.
 const DefaultBurst = 32
+
+// DefaultStealFactor is the default number of flow partitions (ingress
+// queues) per worker when work stealing is enabled.
+const DefaultStealFactor = 8
+
+// maxBurst returns the largest burst a worker may drain — the fixed size,
+// or the adaptive cap. Receive buffers are sized with it.
+func (c Config) maxBurst() int {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	return c.MaxBurst
+}
+
+// NumIngressQueues is the ingress-queue count a replica node needs under
+// this config: Workers queues pinned 1:1 when stealing is off or moot
+// (single worker), Workers×StealFactor flow partitions otherwise. Keeping
+// the partition count a multiple of Workers makes the stride home layout
+// (partition p homes on worker p mod Workers) agree with RSS hashing at
+// either queue count.
+func (c Config) NumIngressQueues() int {
+	if c.NoSteal || c.Workers <= 1 {
+		return c.Workers
+	}
+	return c.Workers * c.StealFactor
+}
 
 // Ring derives the chain's logical ring from the configuration.
 func (c Config) Ring() Ring { return Ring{N: c.NumMB, F: c.F} }

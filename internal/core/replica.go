@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ftsfc/ftc/internal/metrics"
 	"github.com/ftsfc/ftc/internal/netsim"
 	"github.com/ftsfc/ftc/internal/state"
 	"github.com/ftsfc/ftc/internal/wire"
@@ -26,6 +27,15 @@ type Stats struct {
 	Duplicates    atomic.Uint64 // duplicate logs suppressed
 	MBErrors      atomic.Uint64 // middlebox processing errors
 	Propagating   atomic.Uint64 // propagating packets emitted
+}
+
+// SchedStats exposes the scheduling layer's observability (DESIGN.md §9):
+// how often workers stole a sibling's flow partition and the burst budget
+// the adaptive controller last settled on. Per-queue depths and selector
+// clamps live on the netsim node (QueueDepths, Clamps).
+type SchedStats struct {
+	Steals metrics.Counter // bursts drained from a non-home flow partition
+	Burst  metrics.Gauge   // most recent per-worker burst budget
 }
 
 // Replica is one FTC chain node: it hosts a middlebox and the head of that
@@ -67,6 +77,7 @@ type Replica struct {
 	releaseDirty atomic.Bool // new wrapped-group commits since last release scan
 
 	stats    Stats
+	sched    SchedStats
 	stopOnce sync.Once
 	stopped  chan struct{}
 	wg       sync.WaitGroup
@@ -140,6 +151,9 @@ func (r *Replica) Follower(j uint16) *Follower { return r.followers[j] }
 // Stats exposes the replica's counters.
 func (r *Replica) Stats() *Stats { return &r.stats }
 
+// Sched exposes the scheduling layer's counters.
+func (r *Replica) Sched() *SchedStats { return &r.sched }
+
 // Gen returns the replica's current chain generation.
 func (r *Replica) Gen() uint32 { return r.gen.Load() }
 
@@ -147,32 +161,95 @@ func (r *Replica) Gen() uint32 { return r.gen.Load() }
 func (r *Replica) SetGen(g uint32) { r.gen.Store(g) }
 
 // Start launches the worker threads and, on the first node, the propagating
-// timer, and registers the control-plane handlers.
+// timer, and registers the control-plane handlers. With more ingress queues
+// than configured workers (the stealing layout, Config.NumIngressQueues),
+// Workers goroutines schedule over the queues claim-based; otherwise one
+// worker pins to each queue, the pre-stealing 1:1 layout.
 func (r *Replica) Start() {
 	r.registerControl()
-	for q := 0; q < r.sim.NumQueues(); q++ {
-		r.wg.Add(1)
-		go func(q int) {
-			defer r.wg.Done()
-			w := r.newWorker()
-			for {
-				n := r.sim.RecvBurst(q, w.in)
-				if n == 0 {
-					// Crash or shutdown mid-stream: release any state locks
-					// the batch retains so post-mortem store reads (recovery,
-					// digests) never block on a dead worker.
-					if w.batch != nil {
-						w.batch.Flush()
-					}
-					return
-				}
-				r.handleBurst(w, n)
-			}
-		}(q)
+	if nq := r.sim.NumQueues(); !r.cfg.NoSteal && nq > r.cfg.Workers {
+		for i := 0; i < r.cfg.Workers; i++ {
+			r.wg.Add(1)
+			go func(i int) {
+				defer r.wg.Done()
+				r.runStealing(i)
+			}(i)
+		}
+	} else {
+		for q := 0; q < nq; q++ {
+			r.wg.Add(1)
+			go func(q int) {
+				defer r.wg.Done()
+				r.runPinned(q)
+			}(q)
+		}
 	}
 	if r.fwd != nil {
 		r.wg.Add(1)
 		go r.propagateLoop()
+	}
+}
+
+// runPinned is the 1:1 worker loop: block on one ingress queue, drain up
+// to the controller's budget, process, flush, repeat.
+func (r *Replica) runPinned(q int) {
+	w := r.newWorker()
+	ctl := netsim.NewBurstController(r.cfg.Burst, r.cfg.MaxBurst)
+	for {
+		n := r.sim.RecvBurst(q, w.in[:ctl.Size()])
+		if n == 0 {
+			// Crash or shutdown mid-stream: release any state locks
+			// the batch retains so post-mortem store reads (recovery,
+			// digests) never block on a dead worker.
+			if w.batch != nil {
+				w.batch.Flush()
+			}
+			return
+		}
+		r.handleBurst(w, n)
+		ctl.Observe(n, r.sim.QueueLen(q))
+		r.sched.Burst.Set(int64(ctl.Size()))
+	}
+}
+
+// runStealing is the work-stealing worker loop: claim a non-empty flow
+// partition (home first, then the deepest backlogged sibling partition),
+// drain one burst, process it AND flush its deferred effects, and only
+// then release the claim. Holding the claim through the flush is what
+// preserves per-flow FIFO order across claim migrations: a flow hashes to
+// exactly one partition, and a partition never has frames in flight at
+// two workers at once (DESIGN.md §9).
+func (r *Replica) runStealing(idx int) {
+	w := r.newWorker()
+	ctl := netsim.NewBurstController(r.cfg.Burst, r.cfg.MaxBurst)
+	sched := r.sim.NewQueueSched(idx, r.cfg.Workers)
+	for {
+		q, stolen := sched.Acquire()
+		if q < 0 {
+			if w.batch != nil {
+				w.batch.Flush()
+			}
+			return
+		}
+		if stolen {
+			r.sched.Steals.Inc()
+		}
+		n := r.sim.DrainClaimed(q, w.in[:ctl.Size()])
+		if n > 0 {
+			r.handleBurst(w, n)
+		}
+		depth := r.sim.QueueLen(q)
+		sched.Release(q)
+		ctl.Observe(n, depth)
+		r.sched.Burst.Set(int64(ctl.Size()))
+		if n == 0 {
+			// Only a crash between Acquire and the drain yields an empty
+			// claimed queue: unwind like the pinned loop.
+			if w.batch != nil {
+				w.batch.Flush()
+			}
+			return
+		}
 	}
 }
 
@@ -183,7 +260,7 @@ func (r *Replica) Start() {
 // dissemination.
 type worker struct {
 	fp fastPath
-	in []netsim.Inbound // RecvBurst landing zone, len == cfg.Burst
+	in []netsim.Inbound // drain landing zone, len == cfg.maxBurst()
 
 	out []([]byte) // trailered frames awaiting the flush to the next hop
 	egr []([]byte) // finalized frames awaiting the flush to egress
@@ -200,7 +277,7 @@ type worker struct {
 }
 
 func (r *Replica) newWorker() *worker {
-	w := &worker{in: make([]netsim.Inbound, r.cfg.Burst)}
+	w := &worker{in: make([]netsim.Inbound, r.cfg.maxBurst())}
 	if r.head != nil {
 		w.batch = r.head.Store().NewBatch()
 	}

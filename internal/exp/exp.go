@@ -63,9 +63,20 @@ type Params struct {
 	// PacketSize is the default frame size (paper: 256 B).
 	PacketSize int
 	// Burst is the data-plane burst size for every stage (receive drain,
-	// batched transactions, grouped sends); 0 keeps each layer's default
-	// (core.DefaultBurst). 1 degenerates to per-packet processing.
+	// batched transactions, grouped sends); 0 keeps each layer's default —
+	// the NAPI-style adaptive controller in core/nf, each layer's fixed
+	// default elsewhere. 1 degenerates to per-packet processing.
 	Burst int
+	// Skew, when > 1, makes the generator draw flows from a Zipf
+	// distribution with parameter s = Skew and aligns every flow onto one
+	// RSS ingress queue of a `workers`-queue receiver (tgen.Spec.Skew /
+	// AlignQueues): the elephant-queue worst case that work stealing
+	// redistributes. 0 keeps the uniform round-robin workload.
+	Skew float64
+	// NoSteal pins FTC workers 1:1 onto ingress queues, disabling the
+	// work-stealing scheduler (the pre-stealing layout); the skewed
+	// benchmark uses it as its baseline.
+	NoSteal bool
 }
 
 // WithDefaults fills zero fields.
@@ -118,6 +129,8 @@ type buildOpts struct {
 	flows      int
 	f          int
 	burst      int
+	skew       float64
+	noSteal    bool
 	fabricCfg  netsim.Config
 }
 
@@ -131,6 +144,8 @@ func BuildSUT(kind Kind, factory MBFactory, p Params, workers int) (*SUT, error)
 		flows:      p.Flows,
 		f:          p.F,
 		burst:      p.Burst,
+		skew:       p.Skew,
+		noSteal:    p.NoSteal,
 	})
 }
 
@@ -155,7 +170,8 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 		// A short propagation period keeps single-packet (closed-loop)
 		// release latency from being bounded by the idle timer.
 		cfg := core.Config{F: o.f, Workers: o.workers, QueueCap: 4096,
-			PropagateEvery: 200 * time.Microsecond, Burst: o.burst}
+			PropagateEvery: 200 * time.Microsecond, Burst: o.burst,
+			NoSteal: o.noSteal}
 		c := core.NewChain(cfg, fabric, "ftc", mbs, sink.ID())
 		c.Start()
 		s.closers = append(s.closers, c.Stop)
@@ -178,11 +194,21 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 		return nil, fmt.Errorf("exp: unknown kind %d", kind)
 	}
 
-	gen, err := tgen.NewGenerator(fabric, "gen", ingress, tgen.Spec{
+	spec := tgen.Spec{
 		Flows:      o.flows,
 		PacketSize: o.packetSize,
 		Burst:      o.burst,
-	})
+		Skew:       o.skew,
+	}
+	if o.skew > 1 {
+		// Elephant-queue alignment: every flow collides on one RSS queue of
+		// the no-stealing (Workers-queue) layout, so the skew benchmark's
+		// baseline degenerates to one busy worker. The stealing layout keeps
+		// Workers×StealFactor partitions — a multiple of Workers — so the
+		// same flows spread across StealFactor partitions there.
+		spec.AlignQueues = o.workers
+	}
+	gen, err := tgen.NewGenerator(fabric, "gen", ingress, spec)
 	if err != nil {
 		s.Close()
 		return nil, err

@@ -36,6 +36,20 @@ type Node struct {
 	crashOn  sync.Once
 	crashCh  chan struct{} // closed on Crash; queues are never closed
 
+	// claims are the per-queue worker-claim flags of the stealing scheduler
+	// (sched.go): a set flag means one worker holds exclusive drain rights.
+	claims []atomic.Bool
+	// bell is the scheduler doorbell: enqueue pulses it after a frame is
+	// visible, and Release pulses it when a queue is returned with backlog,
+	// so a worker sleeping in Acquire can never miss work.
+	bell chan struct{}
+	// clamps counts selector results that fell outside [0, queues) and were
+	// clamped to queue 0 — a misconfigured RSS selector would otherwise
+	// silently pile flows onto one queue. Racy callers (full + enqueue) may
+	// count one frame twice; the counter is a bug indicator, not an exact
+	// tally.
+	clamps Counter64
+
 	// routes caches resolved destinations so steady-state sends skip the
 	// fabric's node map and its RWMutex. Entries are purged by RemoveNode;
 	// stale hits (crashed destination) fall back to slow resolution.
@@ -58,6 +72,8 @@ func newNode(id NodeID, f *Fabric, cfg NodeConfig) *Node {
 		queues:   make([]chan Inbound, cfg.Queues),
 		selector: cfg.Selector,
 		crashCh:  make(chan struct{}),
+		claims:   make([]atomic.Bool, cfg.Queues),
+		bell:     make(chan struct{}, cfg.Queues),
 		handlers: make(map[string]RPCHandler),
 	}
 	for i := range n.queues {
@@ -82,10 +98,15 @@ func (n *Node) pickQueue(frame []byte) int {
 	}
 	q := n.selector(frame, len(n.queues))
 	if q < 0 || q >= len(n.queues) {
+		n.clamps.inc()
 		return 0
 	}
 	return q
 }
+
+// Clamps reports how many selector results were clamped to queue 0 for
+// being out of range (see pickQueue).
+func (n *Node) Clamps() uint64 { return n.clamps.Value() }
 
 // full reports whether the queue the frame would select is at capacity.
 // Racy by design: it only biases overload toward cheap drops.
@@ -107,6 +128,7 @@ func (n *Node) enqueue(from NodeID, frame []byte, block bool) bool {
 	if block {
 		select {
 		case n.queues[q] <- in:
+			n.ring()
 			return true
 		case <-n.crashCh:
 			return false
@@ -114,11 +136,23 @@ func (n *Node) enqueue(from NodeID, frame []byte, block bool) bool {
 	}
 	select {
 	case n.queues[q] <- in:
+		n.ring()
 		return true
 	case <-n.crashCh:
 		return false
 	default:
 		return false
+	}
+}
+
+// ring pulses the scheduler doorbell after a frame became visible in a
+// queue. The send fails fast (lock-free) when the bell buffer is already
+// full — a pending pulse is enough to wake every sleeping worker in turn,
+// since each wakes, rescans all queues, and re-rings on backlogged release.
+func (n *Node) ring() {
+	select {
+	case n.bell <- struct{}{}:
+	default:
 	}
 }
 

@@ -21,8 +21,10 @@ type Config struct {
 	Partitions int
 	Workers    int
 	QueueCap   int
-	// Burst is the receive/transmit burst size (default core.DefaultBurst).
-	// Burst 1 degenerates to per-packet processing.
+	// Burst is the receive/transmit burst size. Burst 1 degenerates to
+	// per-packet processing; Burst 0 — the default — selects the adaptive
+	// NAPI-style controller (netsim.BurstController), matching
+	// core.Config.Burst so the baseline stays comparable.
 	Burst int
 }
 
@@ -37,8 +39,8 @@ func (c Config) WithDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1024
 	}
-	if c.Burst <= 0 {
-		c.Burst = core.DefaultBurst
+	if c.Burst < 0 {
+		c.Burst = 0 // adaptive
 	}
 	return c
 }
@@ -123,15 +125,17 @@ func (n *Node) start() {
 		n.wg.Add(1)
 		go func(q int) {
 			defer n.wg.Done()
-			in := make([]netsim.Inbound, n.burst)
-			out := make([][]byte, 0, n.burst)
+			ctl := netsim.NewBurstController(n.burst, 0)
+			in := make([]netsim.Inbound, ctl.Max())
+			out := make([][]byte, 0, ctl.Max())
 			batch := n.store.NewBatch()
 			for {
-				cnt := n.sim.RecvBurst(q, in)
+				cnt := n.sim.RecvBurst(q, in[:ctl.Size()])
 				if cnt == 0 {
 					batch.Flush()
 					return
 				}
+				ctl.Observe(cnt, n.sim.QueueLen(q))
 				for i := 0; i < cnt; i++ {
 					n.handle(in[i].Frame, batch, &out)
 				}

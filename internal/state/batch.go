@@ -26,6 +26,15 @@ type Batch interface {
 	Flush()
 }
 
+// MaxBatchTxns bounds how many transactions a batch may commit before it
+// flushes itself. With adaptive burst sizing a burst can reach hundreds of
+// packets; the auto-flush caps how long one worker retains partition locks
+// within such a burst, so contending workers and non-transactional readers
+// are never starved for a whole jumbo burst. Flushing mid-burst is
+// semantically free — Flush is legal at any point and every transaction has
+// already committed when it runs.
+const MaxBatchTxns = 64
+
 // ---------------------------------------------------------------------------
 // Wound-wait 2PL engine
 // ---------------------------------------------------------------------------
@@ -40,6 +49,7 @@ type lockBatch struct {
 	store *Store
 	hold  *lockTxn  // lock holder persisting across Execs within a burst
 	view  batchView // per-Exec scratch, reused
+	execs int       // commits since the last flush (MaxBatchTxns cap)
 }
 
 // NewBatch returns a batch context for one worker's bursts of transactions.
@@ -73,6 +83,10 @@ func (b *lockBatch) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (
 		if err == nil {
 			res := v.commit(onCommit)
 			res.Retries = retries
+			b.execs++
+			if b.execs >= MaxBatchTxns {
+				b.Flush()
+			}
 			return res, nil
 		}
 		if errors.Is(err, ErrWounded) {
@@ -91,6 +105,7 @@ func (b *lockBatch) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (
 // Flush implements Batch: release every held partition lock and start the
 // next burst as a fresh wound-wait participant.
 func (b *lockBatch) Flush() {
+	b.execs = 0
 	if len(b.hold.held) == 0 {
 		return
 	}
@@ -272,6 +287,7 @@ func (v *batchView) commit(onCommit func(Result)) Result {
 type occBatch struct {
 	store *OCCStore
 	held  []uint16 // partitions whose mu is currently held, ascending
+	execs int      // commits since the last flush (MaxBatchTxns cap)
 }
 
 // NewBatch returns a batch context for one worker's bursts of transactions.
@@ -313,6 +329,12 @@ func (b *occBatch) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (R
 			continue
 		}
 		res.Retries = retries
+		if err == nil {
+			b.execs++
+			if b.execs >= MaxBatchTxns {
+				b.Flush()
+			}
+		}
 		return res, err
 	}
 }
@@ -320,6 +342,7 @@ func (b *occBatch) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (R
 // Flush implements Batch: release the partition mutexes held since the last
 // commit.
 func (b *occBatch) Flush() {
+	b.execs = 0
 	for i := len(b.held) - 1; i >= 0; i-- {
 		b.store.parts[b.held[i]].mu.Unlock()
 	}

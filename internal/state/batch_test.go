@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // batchBackends returns both engines, since Batch semantics must be
@@ -328,6 +329,59 @@ func TestBatchFlushReleasesLocks(t *testing.T) {
 			}
 			if v, _ := s.Get("k"); string(v) != "w" {
 				t.Fatalf("k = %q after plain exec, want w", v)
+			}
+		})
+	}
+}
+
+// TestBatchAutoFlush pins the MaxBatchTxns cap: a batch that commits
+// MaxBatchTxns transactions without an explicit Flush must release its
+// partition locks on its own, so a jumbo adaptive burst can never starve a
+// contending worker for the whole burst. The contender is launched while
+// the batch still holds the lock (one short of the cap) and must complete
+// after the capping transaction — with no Flush call in sight.
+func TestBatchAutoFlush(t *testing.T) {
+	for name, s := range batchBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := s.NewBatch()
+			exec := func() {
+				t.Helper()
+				if _, err := b.Exec(func(tx Txn) error {
+					return tx.Put("k", []byte("v"))
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < MaxBatchTxns-1; i++ {
+				exec()
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := s.Exec(func(tx Txn) error {
+					return tx.Put("k", []byte("w"))
+				})
+				done <- err
+			}()
+			// One short of the cap the batch still holds the partition: the
+			// contender must not get through yet. (A scheduling hiccup here
+			// can only delay the contender further, never complete it early,
+			// so this cannot flake toward failure.)
+			select {
+			case <-done:
+				t.Fatal("contender committed while the batch held the partition")
+			case <-time.After(50 * time.Millisecond):
+			}
+			exec() // MaxBatchTxns'th commit → auto-flush
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("auto-flush never released the partition locks")
+			}
+			if v, _ := s.Get("k"); string(v) != "w" {
+				t.Fatalf("k = %q after contender, want w", v)
 			}
 		})
 	}

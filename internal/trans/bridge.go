@@ -40,8 +40,11 @@ const DefaultBurst = 32
 type Config struct {
 	// Burst is the maximum number of frames coalesced per proxy-drain
 	// wakeup on the send side and per injection batch on the receive
-	// side. 1 degenerates to the per-packet transport. Defaults to
-	// DefaultBurst.
+	// side. 1 degenerates to the per-packet transport. Burst 0 — the
+	// default — selects a NAPI-style adaptive coalescing budget: the
+	// drain budget starts at 1 and grows toward netsim.DefaultMaxBurst
+	// while the proxy queue stays backlogged, then decays toward 1 when
+	// drains come up short, matching core.Config.Burst semantics.
 	Burst int
 	// MTUBudget is the per-datagram packing budget in bytes: a datagram
 	// is flushed before a frame whose record would push the packed size
@@ -59,13 +62,23 @@ type Config struct {
 
 // withDefaults fills zero fields with the package defaults.
 func (c Config) withDefaults() Config {
-	if c.Burst <= 0 {
-		c.Burst = DefaultBurst
+	if c.Burst < 0 {
+		c.Burst = 0 // adaptive
 	}
 	if c.MTUBudget <= 0 {
 		c.MTUBudget = DefaultMTUBudget
 	}
 	return c
+}
+
+// maxBurst is the largest per-wakeup frame budget the bridge can reach —
+// the fixed Burst, or the adaptive controller's cap. Buffers are sized
+// with it.
+func (c Config) maxBurst() int {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	return netsim.DefaultMaxBurst
 }
 
 // Peer describes a remote process hosting one fabric node.
@@ -247,13 +260,15 @@ var rpcNames = []string{"ftc.repair", "ftc.fetch", "ftc.setgen", "ftc.setroute",
 // flushed without delay — batching never adds a latency floor.
 func (b *Bridge) drainProxy(proxy *netsim.Node) {
 	defer b.wg.Done()
-	in := make([]netsim.Inbound, b.cfg.Burst)
+	ctl := netsim.NewBurstController(b.cfg.Burst, 0)
+	in := make([]netsim.Inbound, ctl.Max())
 	dgram := make([]byte, 0, b.cfg.MTUBudget+frameHdrLen+MaxFrame)
 	for {
-		n := proxy.RecvBurst(0, in)
+		n := proxy.RecvBurst(0, in[:ctl.Size()])
 		if n == 0 {
 			return
 		}
+		ctl.Observe(n, proxy.QueueLen(0))
 		addr := b.peerAddr(proxy.ID())
 		for i := 0; i < n; i++ {
 			frame := in[i].Frame
@@ -299,7 +314,8 @@ func (b *Bridge) udpLoop() {
 	// One receive buffer per datagram that can contribute to a burst:
 	// unpacked frames alias their datagram's buffer until SendBurst
 	// copies them, so each drained datagram needs its own.
-	nbufs := b.cfg.Burst
+	maxBurst := b.cfg.maxBurst()
+	nbufs := maxBurst
 	if nbufs > maxDrainDatagrams {
 		nbufs = maxDrainDatagrams
 	}
@@ -307,14 +323,14 @@ func (b *Bridge) udpLoop() {
 	for i := range bufs {
 		bufs[i] = make([]byte, MaxDatagram)
 	}
-	frames := make([][]byte, 0, b.cfg.Burst)
+	frames := make([][]byte, 0, maxBurst)
 	for {
 		n, _, err := b.udp.ReadFromUDP(bufs[0])
 		if err != nil {
 			return
 		}
 		frames = b.unpack(frames[:0], bufs[0][:n])
-		for i := 1; i < nbufs && len(frames) < b.cfg.Burst; i++ {
+		for i := 1; i < nbufs && len(frames) < maxBurst; i++ {
 			n, ok := b.tryReadMore(bufs[i])
 			if !ok {
 				break
