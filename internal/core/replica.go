@@ -242,14 +242,10 @@ func (r *Replica) runStealing(idx int) {
 		sched.Release(q)
 		ctl.Observe(n, depth)
 		r.sched.Burst.Set(int64(ctl.Size()))
-		if n == 0 {
-			// Only a crash between Acquire and the drain yields an empty
-			// claimed queue: unwind like the pinned loop.
-			if w.batch != nil {
-				w.batch.Flush()
-			}
-			return
-		}
+		// n == 0 is not a crash signal: a claim can be won on a queue a
+		// sibling drained empty moments earlier, and a crash mid-drain is
+		// caught by the next Acquire returning q == -1 — the only exit
+		// path, so a live replica never sheds workers.
 	}
 }
 

@@ -112,6 +112,14 @@ func (s *QueueSched) Acquire() (q int, stolen bool) {
 		for i := 0; i < len(s.home); i++ {
 			h := s.home[(s.cursor+i)%len(s.home)]
 			if len(n.queues[h]) > 0 && n.claims[h].CompareAndSwap(false, true) {
+				// Re-verify under the claim: between the depth peek and the
+				// CAS a sibling may have drained the queue empty and
+				// released it. Only the claim holder drains, so a queue
+				// seen non-empty here stays non-empty until we drain it.
+				if len(n.queues[h]) == 0 {
+					s.Release(h)
+					continue
+				}
 				s.cursor = (s.cursor + i + 1) % len(s.home)
 				return h, false
 			}
@@ -124,6 +132,10 @@ func (s *QueueSched) Acquire() (q int, stolen bool) {
 		}
 		if deepest >= 0 {
 			if n.claims[deepest].CompareAndSwap(false, true) {
+				if len(n.queues[deepest]) == 0 { // drained between scan and CAS
+					s.Release(deepest)
+					continue
+				}
 				return deepest, deepest%s.workers != s.worker
 			}
 			continue // lost the claim race; rescan, the landscape changed
@@ -152,8 +164,11 @@ func (s *QueueSched) Release(q int) {
 // into buf without blocking and returns the count (0 once the node has
 // crashed). The caller must hold the queue's claim (QueueSched.Acquire),
 // which is what guarantees a partition's frames are never interleaved
-// across two workers. Acquire only returns non-empty queues, so a zero
-// count with a live node cannot happen.
+// across two workers. A zero count is NOT a crash signal on its own:
+// although Acquire re-verifies depth under the claim, callers that claim
+// queues by other means may win one a sibling just drained empty, so
+// treat n == 0 as "nothing to do" and loop back to Acquire — only
+// Acquire's q == -1 means the node is gone.
 func (n *Node) DrainClaimed(q int, buf []Inbound) int {
 	if n.crashed.Load() {
 		return 0

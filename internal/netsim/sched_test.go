@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -287,6 +288,59 @@ func TestQueueSchedPerQueueFIFO(t *testing.T) {
 				t.Fatalf("queue %d: position %d holds seq %d — FIFO violated", q, i, got)
 			}
 		}
+	}
+}
+
+// TestAcquireReturnsNonEmpty hammers the check-then-CAS window in Acquire:
+// with more workers than queues and burst-1 drains, claims churn fast
+// enough that a worker routinely CASes a queue a sibling drained empty an
+// instant earlier. Acquire must re-verify depth under the claim and retry,
+// so on a live node DrainClaimed straight after Acquire never returns 0 —
+// the invariant runStealing-style callers rely on to tell "nothing left"
+// apart from "node crashed".
+func TestAcquireReturnsNonEmpty(t *testing.T) {
+	const queues, workers, total = 2, 4, 4000
+	_, n := schedNode(t, queues, 64)
+
+	var drained, emptyClaims atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := n.NewQueueSched(w, workers)
+			buf := make([]Inbound, 1)
+			for {
+				q, _ := s.Acquire()
+				if q < 0 {
+					return
+				}
+				cnt := n.DrainClaimed(q, buf)
+				if cnt == 0 && !n.crashed.Load() {
+					emptyClaims.Add(1)
+				}
+				drained.Add(int64(cnt))
+				s.Release(q)
+			}
+		}(w)
+	}
+
+	for seq := 0; seq < total; seq++ {
+		for !n.enqueue("gen", schedFrame(seq%queues, seq), false) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for drained.Load() < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("drained %d of %d frames", drained.Load(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	n.Crash()
+	wg.Wait()
+	if got := emptyClaims.Load(); got > 0 {
+		t.Fatalf("Acquire handed out an empty queue %d times on a live node", got)
 	}
 }
 
