@@ -5,7 +5,7 @@ GO ?= go
 BURST ?= 32
 DATE  := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet doclint race stress bench-smoke bench-fig5 bench-bridge bench-json ci
+.PHONY: all build test vet doclint race stress chaos bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
 
 all: build vet test
 
@@ -19,16 +19,18 @@ vet:
 	$(GO) vet ./...
 
 # Doc-comment lint: the deployment-path packages must keep every exported
-# symbol documented (the README walkthrough links to their godoc).
+# symbol documented (the README walkthrough links to their godoc), and so
+# must the chaos harness and the orchestrator it drives (DESIGN.md §10
+# links to their invariant and phase definitions).
 doclint:
-	$(GO) run scripts/doclint.go internal/trans cmd/ftcd cmd/ftcgen
+	$(GO) run scripts/doclint.go internal/trans internal/chaos internal/orch cmd/ftcd cmd/ftcgen
 
 # Race-check the packages that share frames and scratch buffers across
 # goroutines: the pooled-frame ownership rules live here. internal/trans
 # covers the burst tunnel (packing, socket drain, burst injection) and its
 # burst-equivalence/crash tests.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/...
+	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/... ./internal/orch/...
 
 # Scheduler stress gate: the burst/steal equivalence proofs (identical
 # delivered sets + state digests across burst 1/32/adaptive and steal
@@ -43,6 +45,29 @@ stress:
 # number of iterations so CI can catch an allocation regression in seconds.
 bench-smoke:
 	$(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x
+
+# Benchmark regression guard: bench-smoke diffed against the checked-in
+# baseline. allocs/op regressions fail the build; timing drift beyond ±10%
+# is an advisory warning (CI runners are noisy). Refresh BENCH_BASELINE.json
+# when an improvement lands.
+bench-guard:
+	$(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x \
+		| tee /dev/stderr | $(GO) run scripts/bench_compare.go
+
+# Deterministic chaos campaigns under -race: CHAOS_COUNT consecutive seeds
+# (56 sweeps the f=1..2 × {2pl,occ} × {steal,nosteal} matrix 7 times), and
+# SOAK_SECONDS keeps extending the sweep for the nightly soak lane. Every
+# failure prints a copy-pasteable single-seed repro command.
+#   make chaos                       # pre-merge: 56 seeds, ~5 min
+#   make chaos SOAK_SECONDS=600      # nightly: at least 10 min of seeds
+#   make chaos CHAOS_COUNT=8         # quick matrix sweep
+CHAOS_COUNT  ?= 56
+SOAK_SECONDS ?= 0
+CHAOS_TIMEOUT := $(shell expr $(SOAK_SECONDS) + 1200)
+chaos:
+	$(GO) test -race ./internal/chaos/ -run TestChaosCampaign -v \
+		-chaos.count=$(CHAOS_COUNT) -chaos.soak=$(SOAK_SECONDS) \
+		-timeout $(CHAOS_TIMEOUT)s
 
 # Full throughput benchmark (Figure 5 reproduction) with allocation stats.
 bench-fig5:
@@ -70,7 +95,8 @@ bench-json:
 		> BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
-# The full pre-merge gate: build, vet, doc lint, allocation smoke
-# benchmarks, the race-sensitive packages under -race, the scheduler
-# stress gate, and the whole test suite.
-ci: build vet doclint bench-smoke race stress test
+# The full pre-merge gate: build, vet, doc lint, the benchmark regression
+# guard (allocation smoke benchmarks diffed against baseline), the
+# race-sensitive packages under -race, the scheduler stress gate, and the
+# whole test suite.
+ci: build vet doclint bench-guard race stress test

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	ftclab [-quick] [-runtime 1s] [experiment ...]
+//	ftclab -chaos-seed N
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 ablate. With no arguments, all experiments run in order.
+//
+// -chaos-seed replays one deterministic fault-injection campaign (the same
+// schedule `go test ./internal/chaos -chaos.seed=N` runs) with the event
+// trace on stderr, and exits 1 if any invariant is violated — the debugging
+// entry point for a seed that failed in CI.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/ftsfc/ftc/internal/chaos"
 	"github.com/ftsfc/ftc/internal/exp"
 )
 
@@ -24,7 +31,12 @@ func main() {
 	quickFlag := flag.Bool("quick", false, "short measurement windows (smoke run)")
 	runTime := flag.Duration("runtime", time.Second, "measurement window per data point")
 	flows := flag.Int("flows", 128, "generator flows")
+	chaosSeed := flag.Int64("chaos-seed", 0, "replay this chaos campaign seed with a verbose trace and exit")
 	flag.Parse()
+
+	if *chaosSeed != 0 {
+		os.Exit(replayChaos(*chaosSeed))
+	}
 
 	p := exp.Params{RunTime: *runTime, Flows: *flows}
 	if *quickFlag {
@@ -45,6 +57,29 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// replayChaos derives and runs the campaign for one seed, tracing every
+// scheduled event to stderr, and returns the process exit code.
+func replayChaos(seed int64) int {
+	c := chaos.Derive(seed)
+	if err := c.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftclab: seed %d derived an invalid schedule: %v\n", seed, err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "chaos: replaying seed %d: f=%d engine=%s nosteal=%v chain=%d flows=%d packets=%d episodes=%d linkfaults=%d\n",
+		seed, c.F, c.Engine, c.NoSteal, c.ChainLen, c.Flows, c.Packets, len(c.Episodes), len(c.LinkFaults))
+	res := chaos.Run(c, chaos.Options{Trace: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+	}})
+	fmt.Println(res.OneLine())
+	if res.Failed() {
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "ftclab: seed %d: %s\n", seed, v)
+		}
+		return 1
+	}
+	return 0
 }
 
 func run(name string, p exp.Params) error {

@@ -1,0 +1,180 @@
+package chaos_test
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/chaos"
+	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+var (
+	chaosSeed  = flag.Int64("chaos.seed", 0, "replay exactly this campaign seed (verbose trace)")
+	chaosBase  = flag.Int64("chaos.base", 1, "first campaign seed")
+	chaosCount = flag.Int("chaos.count", 8, "number of consecutive seeds to run (8 sweeps the full matrix once)")
+	chaosSoak  = flag.Int("chaos.soak", 0, "keep running seeds for at least this many seconds (nightly soak lane)")
+)
+
+func repro(seed int64) string {
+	return fmt.Sprintf("go test -race ./internal/chaos -run TestChaosCampaign -chaos.seed=%d -v", seed)
+}
+
+// runSeed derives and runs one campaign, reporting violations with a
+// copy-pasteable repro line.
+func runSeed(t *testing.T, seed int64, verbose bool) *chaos.Result {
+	t.Helper()
+	c := chaos.Derive(seed)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("seed %d derived an invalid schedule: %v\nrepro: %s", seed, err, repro(seed))
+	}
+	var opt chaos.Options
+	if verbose {
+		opt.Trace = func(format string, args ...any) { t.Logf(format, args...) }
+	}
+	res := chaos.Run(c, opt)
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Errorf("seed %d: %s", seed, v)
+		}
+		t.Errorf("seed %d (f=%d engine=%s nosteal=%v): %d invariant violations\nrepro: %s",
+			seed, c.F, c.Engine, c.NoSteal, len(res.Violations), repro(seed))
+	}
+	t.Logf("%s", res.OneLine())
+	return res
+}
+
+// TestChaosCampaign is the campaign driver: by default it runs
+// -chaos.count consecutive seeds starting at -chaos.base; -chaos.soak=N
+// keeps going for at least N seconds (the nightly lane); -chaos.seed=M
+// replays one seed with a verbose trace.
+func TestChaosCampaign(t *testing.T) {
+	if *chaosSeed != 0 {
+		runSeed(t, *chaosSeed, true)
+		return
+	}
+	deadline := time.Now().Add(time.Duration(*chaosSoak) * time.Second)
+	delivered, ran := 0, 0
+	for seed := *chaosBase; ; seed++ {
+		if ran >= *chaosCount && (*chaosSoak == 0 || time.Now().After(deadline)) {
+			break
+		}
+		delivered += runSeed(t, seed, false).Delivered
+		ran++
+	}
+	// Campaigns tolerate zero delivery individually (a partition can
+	// swallow a short workload), but across a sweep the chain must move
+	// packets or the harness is vacuous.
+	if delivered == 0 {
+		t.Fatalf("%d campaigns delivered zero packets — harness is not exercising the chain", ran)
+	}
+	t.Logf("chaos: %d campaigns, %d packets delivered end-to-end", ran, delivered)
+}
+
+// TestScheduleDeterministicAndValid is the schedule property test: Derive
+// is a pure function of the seed, and every derived schedule stays inside
+// the ≤ f failure envelope that Validate enforces.
+func TestScheduleDeterministicAndValid(t *testing.T) {
+	for seed := int64(1); seed <= 300; seed++ {
+		a, b := chaos.Derive(seed), chaos.Derive(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Derive is not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: derived schedule invalid: %v", seed, err)
+		}
+		if a.RingLen() <= a.F {
+			t.Fatalf("seed %d: ring of %d cannot tolerate f=%d", seed, a.RingLen(), a.F)
+		}
+	}
+}
+
+// TestScheduleMatrixCoverage checks that any 8 consecutive seeds sweep the
+// full f=1..2 × {2pl,occ} × {steal,nosteal} matrix.
+func TestScheduleMatrixCoverage(t *testing.T) {
+	for _, base := range []int64{1, 17, 1000} {
+		seen := map[string]bool{}
+		for seed := base; seed < base+8; seed++ {
+			c := chaos.Derive(seed)
+			seen[fmt.Sprintf("f%d/%s/nosteal=%v", c.F, c.Engine, c.NoSteal)] = true
+		}
+		if len(seen) != 8 {
+			t.Fatalf("seeds %d..%d cover %d of 8 matrix cells: %v", base, base+7, len(seen), seen)
+		}
+	}
+}
+
+// TestCheckerCatchesDuplicateEgress is a negative control at the checker
+// level: a fabricated duplicate delivery must trip the egress audit.
+func TestCheckerCatchesDuplicateEgress(t *testing.T) {
+	flow := wire.FiveTuple{Src: wire.Addr4(10, 0, 0, 1), Dst: wire.Addr4(192, 0, 2, 1), SrcPort: 1, DstPort: 2, Proto: 17}
+	records := []chaos.EgressRecord{{ID: 3, Flow: flow}, {ID: 4, Flow: flow}, {ID: 3, Flow: flow}}
+	vs := chaos.CheckEgress(records, 10)
+	if len(vs) != 1 || vs[0].Invariant != chaos.InvDuplicateEgress {
+		t.Fatalf("duplicate delivery not caught: %v", vs)
+	}
+	if vs := chaos.CheckEgress([]chaos.EgressRecord{{ID: 99, Flow: flow}}, 10); len(vs) != 1 || vs[0].Invariant != chaos.InvUnknownEgress {
+		t.Fatalf("unknown payload id not caught: %v", vs)
+	}
+	if vs := chaos.CheckEgress(records[:2], 10); len(vs) != 0 {
+		t.Fatalf("clean records flagged: %v", vs)
+	}
+}
+
+// TestCheckerCatchesTamperedStore is the end-to-end negative control: run
+// a normal campaign, then corrupt one head store after quiescence — the
+// convergence audit must fire, proving a real divergence cannot slip
+// through the harness.
+func TestCheckerCatchesTamperedStore(t *testing.T) {
+	c := chaos.Derive(1)
+	opt := chaos.Options{PostQuiesce: func(ch *core.Chain) {
+		st := ch.Replica(0).Head().Store()
+		st.Restore(append(st.Snapshot(), state.Update{Key: "chaos-tamper", Value: []byte{0xde, 0xad}}))
+	}}
+	res := chaos.Run(c, opt)
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == chaos.InvDivergentStores {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tampered head store not detected; violations: %v", res.Violations)
+	}
+}
+
+// TestCheckerCatchesGroupWipeout is the f+1 negative control: crashing an
+// entire replication group (2 adjacent positions at f=1) exceeds the
+// protocol's tolerance, and the harness must say so rather than pass.
+func TestCheckerCatchesGroupWipeout(t *testing.T) {
+	c := chaos.Campaign{
+		Seed: 424242, F: 1, Engine: chaos.Engine2PL,
+		ChainLen: 2, Workers: 2, Flows: 4, Packets: 80,
+		PaceEvery: 10, Pace: time.Millisecond,
+		Episodes:      []chaos.Episode{{After: 30 * time.Millisecond, Crashes: []int{0, 1}}},
+		RecoveryBound: time.Second, QuiesceTimeout: time.Second,
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("an f+1 simultaneous-crash schedule passed validation")
+	} else if !strings.Contains(err.Error(), "concurrent replica failures") {
+		t.Fatalf("unexpected validation error: %v", err)
+	}
+	res := chaos.Run(c, chaos.Options{})
+	if !res.Failed() {
+		t.Fatal("wiping out a whole replication group produced no violations — the harness cannot fail")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == chaos.InvRecoveryFailed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a %s violation, got: %v", chaos.InvRecoveryFailed, res.Violations)
+	}
+}

@@ -24,6 +24,12 @@ type heldPacket struct {
 	// Vec-only clones: the release rule needs MB, Flags and Vec, so the
 	// updates (and the decode scratch backing them) are not retained.
 	logs []Log
+	// gen is the chain generation the packet was admitted under. After a
+	// generation bump the new lineage resumes log sequencing from a fetched
+	// (possibly lagging) vector, so its commit vectors can cover an older
+	// packet's sequence numbers without covering its state: held packets
+	// from a fenced generation must be dropped, never released.
+	gen uint32
 }
 
 func newEgressBuffer() *egressBuffer { return &egressBuffer{} }
@@ -118,7 +124,7 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message, w *worker) bool {
 		heldLogs[i] = Log{MB: l.MB, Flags: l.Flags, Vec: l.Vec.Clone()}
 	}
 	r.buf.mu.Lock()
-	r.buf.held = append(r.buf.held, heldPacket{frame: pkt.Buf, logs: heldLogs})
+	r.buf.held = append(r.buf.held, heldPacket{frame: pkt.Buf, logs: heldLogs, gen: msg.Gen})
 	r.buf.mu.Unlock()
 	if w == nil {
 		r.maybeRelease()
@@ -161,17 +167,24 @@ func (r *Replica) maybeRelease() {
 }
 
 // tryRelease scans held packets and releases those whose commit condition
-// is now met, in arrival order.
+// is now met, in arrival order. Packets admitted under an older generation
+// are dropped instead: once the chain is fenced onto a new lineage, the
+// merged commit vectors mix sequence numbers from both lineages and can no
+// longer prove an old packet's state survived.
 func (r *Replica) tryRelease() {
+	cur := r.gen.Load()
 	r.buf.mu.Lock()
-	var ready [][]byte
+	var ready, fenced [][]byte
 	kept := r.buf.held[:0]
 	r.commitMu.Lock()
 	commitFor := func(mb uint16) []uint64 { return r.commitSeen[mb] }
 	for _, h := range r.buf.held {
-		if releasableAgainst(h.logs, commitFor) {
+		switch {
+		case h.gen != cur:
+			fenced = append(fenced, h.frame)
+		case releasableAgainst(h.logs, commitFor):
 			ready = append(ready, h.frame)
-		} else {
+		default:
 			kept = append(kept, h)
 		}
 	}
@@ -185,6 +198,10 @@ func (r *Replica) tryRelease() {
 		r.release(frame)
 		// The buffer was the frame's sole owner; release copied it into the
 		// egress queue, so the buffer can go back to the frame pool.
+		netsim.ReleaseFrame(frame)
+	}
+	for _, frame := range fenced {
+		r.stats.FencedHeld.Add(1)
 		netsim.ReleaseFrame(frame)
 	}
 }

@@ -221,32 +221,10 @@ func TestChainReplicationConsistency(t *testing.T) {
 
 // waitForQuiescence waits until all followers have caught up with their
 // heads (propagating packets flush trailing state).
-func waitForQuiescence(t testing.TB, h *testHarness, minCount uint64) {
+func waitForQuiescence(t testing.TB, h *testHarness, _ uint64) {
 	t.Helper()
-	ring := h.chain.Ring()
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		ok := true
-		for j := 0; j < ring.N && ok; j++ {
-			hv := h.chain.Replica(j).Head().Vector()
-			for _, i := range ring.Members(j)[1:] {
-				fol := h.chain.Replica(i).Follower(uint16(j))
-				fm := fol.Max()
-				for p := range hv {
-					if fm[p] < hv[p] {
-						ok = false
-						break
-					}
-				}
-			}
-		}
-		if ok {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("chain did not quiesce")
-		}
-		time.Sleep(2 * time.Millisecond)
+	if err := h.chain.WaitQuiescent(10 * time.Second); err != nil {
+		t.Fatal(err)
 	}
 }
 

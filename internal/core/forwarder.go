@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"github.com/ftsfc/ftc/internal/hashx"
 )
 
 // forwarder is the element at the chain's ingress (§5): it receives the
@@ -17,6 +19,12 @@ import (
 type forwarder struct {
 	mu      sync.Mutex
 	pending []pendingLog
+	// pendSet holds the identity hash of every pending log so a log
+	// re-transferred by the buffer (the head anti-entropy path re-emits
+	// uncommitted logs until they commit) joins the pending set at most
+	// once. A hash collision only drops a resend — the next retransmission
+	// cycle recovers it — never data.
+	pendSet map[uint64]struct{}
 	commits map[uint16]SparseVec // latest commit per middlebox, not yet re-injected
 }
 
@@ -25,8 +33,27 @@ type pendingLog struct {
 	sentAt time.Time // zero until first attached
 }
 
+// logKey folds a log's identity (middlebox + dependency vector) into the
+// pendSet hash. Updates are excluded: (MB, Vec) already identifies the
+// transaction.
+func logKey(l *Log) uint64 {
+	h := hashx.MixByte64(hashx.Sum64(nil), byte(l.MB))
+	h = hashx.MixByte64(h, byte(l.MB>>8))
+	for _, e := range l.Vec {
+		h = hashx.MixByte64(h, byte(e.Part))
+		h = hashx.MixByte64(h, byte(e.Part>>8))
+		for s := 0; s < 64; s += 8 {
+			h = hashx.MixByte64(h, byte(e.Seq>>s))
+		}
+	}
+	return h
+}
+
 func newForwarder() *forwarder {
-	return &forwarder{commits: make(map[uint16]SparseVec)}
+	return &forwarder{
+		pendSet: make(map[uint64]struct{}),
+		commits: make(map[uint16]SparseVec),
+	}
 }
 
 // addTransfer ingests a buffer-transfer message: wrapped logs join the
@@ -43,6 +70,11 @@ func (f *forwarder) addTransfer(m *Message) {
 		if f.committedLocked(l) {
 			continue
 		}
+		k := logKey(&l)
+		if _, dup := f.pendSet[k]; dup {
+			continue
+		}
+		f.pendSet[k] = struct{}{}
 		// The message may be backed by a per-worker decode scratch that is
 		// reused on the next frame; pending logs outlive it, so clone.
 		f.pending = append(f.pending, pendingLog{log: l.Retain()})
@@ -73,6 +105,8 @@ func (f *forwarder) prune() {
 	for _, p := range f.pending {
 		if !f.committedLocked(p.log) {
 			kept = append(kept, p)
+		} else {
+			delete(f.pendSet, logKey(&p.log))
 		}
 	}
 	for i := len(kept); i < len(f.pending); i++ {

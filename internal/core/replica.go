@@ -21,6 +21,7 @@ type Stats struct {
 	Filtered      atomic.Uint64 // packets dropped by the middlebox verdict
 	ParseErrors   atomic.Uint64
 	StaleGen      atomic.Uint64 // packets fenced by a generation mismatch
+	FencedHeld    atomic.Uint64 // held packets dropped by a generation bump
 	Repairs       atomic.Uint64 // repair RPCs issued
 	RepairedLogs  atomic.Uint64 // logs recovered via repair
 	ApplyTimeouts atomic.Uint64 // logs that could not be repaired in time
@@ -157,8 +158,21 @@ func (r *Replica) Sched() *SchedStats { return &r.sched }
 // Gen returns the replica's current chain generation.
 func (r *Replica) Gen() uint32 { return r.gen.Load() }
 
-// SetGen fences the replica onto a new chain generation.
-func (r *Replica) SetGen(g uint32) { r.gen.Store(g) }
+// SetGen fences the replica onto a new chain generation. On the chain's
+// last node the egress buffer is flushed at the boundary: packets whose
+// logs the outgoing lineage already committed are released, and the rest —
+// the paper's "packets in flight" that a new generation no longer admits
+// (§4.1) — are dropped, because the new lineage resumes log sequencing
+// from a fetched vector and its commits cannot vouch for their state.
+func (r *Replica) SetGen(g uint32) {
+	if r.buf != nil && r.gen.Load() != g {
+		r.tryRelease() // release what the old lineage committed
+	}
+	old := r.gen.Swap(g)
+	if r.buf != nil && old != g {
+		r.tryRelease() // drop the fenced remainder
+	}
+}
 
 // Start launches the worker threads and, on the first node, the propagating
 // timer, and registers the control-plane handlers. With more ingress queues
@@ -187,6 +201,10 @@ func (r *Replica) Start() {
 	if r.fwd != nil {
 		r.wg.Add(1)
 		go r.propagateLoop()
+	}
+	if r.head != nil && r.cfg.F > 0 {
+		r.wg.Add(1)
+		go r.resendLoop()
 	}
 }
 
@@ -791,6 +809,11 @@ func (r *Replica) propagateLoop() {
 		case <-r.stopped:
 			return
 		case <-t.C:
+			if r.sim.Crashed() {
+				// Fail-stopped but never Stop()ed (the chain replaced this
+				// replica): exit rather than tick forever.
+				return
+			}
 			// Drain the whole pending backlog in bounded batches so a
 			// traffic burst's worth of wrapped logs replicates promptly.
 			for {
@@ -803,6 +826,68 @@ func (r *Replica) propagateLoop() {
 				if len(logs) < takeBatch {
 					break
 				}
+			}
+		}
+	}
+}
+
+// resendLoop is the head's anti-entropy timer. A head's logs normally ride
+// data packets, so a frame lost between adjacent servers (a crashed
+// successor not yet routed around) leaves followers with no signal that
+// anything is missing once traffic pauses: repair is pull-based and only
+// triggers when a later log arrives out of order. The loop watches the
+// commit vector for the head's own middlebox; if it stalls behind the
+// dependency vector for a full ResendAfter with no progress, the unpruned
+// uncommitted logs are re-emitted on propagating carriers (followers
+// suppress duplicates via their MAX vectors).
+func (r *Replica) resendLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ResendAfter)
+	defer t.Stop()
+	mb := r.head.MB()
+	var lastSum uint64
+	stale := false // one full interval of lag must elapse before resending
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case <-t.C:
+			if r.sim.Crashed() {
+				return // replaced after a crash; never Stop()ed
+			}
+			commit := r.commitSnapshot(mb)
+			vec := r.head.Vector()
+			var sum uint64
+			lag := false
+			for p := range vec {
+				sum += commit[p]
+				if commit[p] < vec[p] {
+					lag = true
+				}
+			}
+			if !lag || sum > lastSum {
+				// Caught up, or commits still flowing: not wedged.
+				lastSum = sum
+				stale = false
+				continue
+			}
+			if !stale {
+				stale = true
+				continue
+			}
+			stale = false
+			// Push only the frontier: the oldest takeBatch missing logs.
+			// If the stall is real loss, one batch fills the gap and commits
+			// resume; if replication is merely slow (a large backlog under
+			// contention), flooding every unpruned log would outrun the
+			// drain and balloon the forwarder's pending set.
+			logs := r.head.Buffer().Missing(commit)
+			if len(logs) > takeBatch {
+				logs = logs[:takeBatch]
+			}
+			if len(logs) > 0 {
+				msg := &Message{Gen: r.gen.Load(), Logs: logs}
+				r.emitPropagating(msg, nil)
 			}
 		}
 	}

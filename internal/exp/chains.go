@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"github.com/ftsfc/ftc/internal/core"
 	"github.com/ftsfc/ftc/internal/mbox"
 	"github.com/ftsfc/ftc/internal/wire"
@@ -55,6 +57,21 @@ func SingleGenKeys(stateSize, keys int) MBFactory {
 func GenChain(stateSize int) MBFactory {
 	return func(int) []core.Middlebox {
 		return []core.Middlebox{mbox.NewGen(stateSize, 16), mbox.NewGen(stateSize, 16)}
+	}
+}
+
+// FlowCounterChain returns a chain of n FlowCounter middleboxes with
+// distinct key prefixes ("fc0-", "fc1-", …). Every packet leaves one
+// per-flow counter in every store, so an external auditor can verify that
+// each egressed packet's transactions survived — the chain the chaos
+// campaign harness runs.
+func FlowCounterChain(n int) MBFactory {
+	return func(int) []core.Middlebox {
+		mbs := make([]core.Middlebox, n)
+		for i := range mbs {
+			mbs[i] = mbox.NewFlowCounter(fmt.Sprintf("fc%d-", i))
+		}
+		return mbs
 	}
 }
 

@@ -1,0 +1,37 @@
+package mbox
+
+import (
+	"testing"
+
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+func TestFlowCounterPerFlowKeys(t *testing.T) {
+	s := state.New(16)
+	fc := NewFlowCounter("fc0-")
+	a := udpPacket(t, wire.Addr4(10, 0, 0, 1), wire.Addr4(192, 0, 2, 1), 1111, 80)
+	b := udpPacket(t, wire.Addr4(10, 0, 0, 2), wire.Addr4(192, 0, 2, 1), 2222, 80)
+	process(t, fc, s, a)
+	process(t, fc, s, a)
+	process(t, fc, s, b)
+
+	va, ok := s.Get(fc.Key(a.FiveTuple()))
+	if !ok || fc.Count(va) != 2 {
+		t.Fatalf("flow a count = %d (present=%v), want 2", fc.Count(va), ok)
+	}
+	vb, ok := s.Get(fc.Key(b.FiveTuple()))
+	if !ok || fc.Count(vb) != 1 {
+		t.Fatalf("flow b count = %d (present=%v), want 1", fc.Count(vb), ok)
+	}
+	if fc.Key(a.FiveTuple()) == fc.Key(b.FiveTuple()) {
+		t.Fatal("distinct flows share a key")
+	}
+	// Distinct prefixes keep chained instances disjoint.
+	if NewFlowCounter("fc1-").Key(a.FiveTuple()) == fc.Key(a.FiveTuple()) {
+		t.Fatal("prefixes do not separate keys")
+	}
+	if fc.Count(nil) != 0 || fc.Count([]byte{1, 2}) != 0 {
+		t.Fatal("malformed values must decode to 0")
+	}
+}

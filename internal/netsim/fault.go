@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// LinkFault is one scripted fault on a directional link: at offset At from
+// the moment the script starts, the src→dst profile is replaced by During;
+// after Duration it is replaced by After (typically the link's healthy
+// profile). A loss spike, a latency/jitter/reorder storm, or a partition
+// (During.Down) are all just profiles. Set Both to fault dst→src
+// symmetrically.
+type LinkFault struct {
+	// Src and Dst name the faulted directional link.
+	Src, Dst NodeID
+	// Both applies the fault to the reverse direction too.
+	Both bool
+	// At is the fault onset, relative to ScheduleFaults.
+	At time.Duration
+	// Duration is how long the During profile stays applied.
+	Duration time.Duration
+	// During is the profile in effect for the fault window.
+	During LinkProfile
+	// After is the profile restored when the window closes.
+	After LinkProfile
+}
+
+// FaultScript tracks a scheduled set of link faults so callers can wait for
+// the script to finish or cancel the outstanding timers.
+type FaultScript struct {
+	mu     sync.Mutex
+	timers []*time.Timer
+	wg     sync.WaitGroup
+}
+
+// ScheduleFaults arms every fault in the script against this fabric using
+// wall-clock timers and returns a handle. Fault application is just
+// SetLink, so it is safe against concurrent traffic; overlapping windows on
+// the same link are applied in timer order (last writer wins — scripts that
+// need determinism keep per-link windows disjoint, which is what the chaos
+// schedule generator guarantees).
+func (f *Fabric) ScheduleFaults(faults []LinkFault) *FaultScript {
+	s := &FaultScript{}
+	arm := func(d time.Duration, src, dst NodeID, both bool, p LinkProfile) {
+		s.wg.Add(1)
+		t := time.AfterFunc(d, func() {
+			defer s.wg.Done()
+			if f.stopped.Load() {
+				return
+			}
+			if both {
+				f.SetLinkBoth(src, dst, p)
+			} else {
+				f.SetLink(src, dst, p)
+			}
+		})
+		s.mu.Lock()
+		s.timers = append(s.timers, t)
+		s.mu.Unlock()
+	}
+	for _, lf := range faults {
+		arm(lf.At, lf.Src, lf.Dst, lf.Both, lf.During)
+		arm(lf.At+lf.Duration, lf.Src, lf.Dst, lf.Both, lf.After)
+	}
+	return s
+}
+
+// Wait blocks until every armed fault transition has fired (or was
+// cancelled).
+func (s *FaultScript) Wait() { s.wg.Wait() }
+
+// Cancel stops all transitions that have not fired yet; links keep whatever
+// profile they currently have. Safe to call concurrently with firing
+// timers and more than once.
+func (s *FaultScript) Cancel() {
+	s.mu.Lock()
+	timers := s.timers
+	s.timers = nil
+	s.mu.Unlock()
+	for _, t := range timers {
+		if t.Stop() {
+			s.wg.Done()
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScheduleFaultsPartitionWindow scripts a partition window on a→b and
+// verifies frames are lost during the window and delivered before and
+// after it.
+func TestScheduleFaultsPartitionWindow(t *testing.T) {
+	f := New(Config{})
+	defer f.Stop()
+	f.AddNode("a", NodeConfig{})
+	b := f.AddNode("b", NodeConfig{})
+
+	send := func() bool {
+		if err := f.Send("a", "b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		in, ok := b.TryRecv(0)
+		if ok {
+			ReleaseFrame(in.Frame)
+		}
+		return ok
+	}
+
+	if !send() {
+		t.Fatal("healthy link dropped a frame")
+	}
+
+	s := f.ScheduleFaults([]LinkFault{{
+		Src: "a", Dst: "b",
+		At:       10 * time.Millisecond,
+		Duration: 50 * time.Millisecond,
+		During:   LinkProfile{Down: true},
+	}})
+	defer s.Cancel()
+
+	// Inside the window: every frame must vanish.
+	time.Sleep(25 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if send() {
+			t.Fatal("frame delivered through a partition")
+		}
+	}
+
+	s.Wait()
+	if !send() {
+		t.Fatal("link not restored after the fault window")
+	}
+}
+
+// TestScheduleFaultsCancel verifies that cancelling a script keeps unfired
+// transitions from ever applying.
+func TestScheduleFaultsCancel(t *testing.T) {
+	f := New(Config{})
+	defer f.Stop()
+	f.AddNode("a", NodeConfig{})
+	b := f.AddNode("b", NodeConfig{})
+
+	s := f.ScheduleFaults([]LinkFault{{
+		Src: "a", Dst: "b", Both: true,
+		At:       50 * time.Millisecond,
+		Duration: time.Second,
+		During:   LinkProfile{Down: true},
+	}})
+	s.Cancel()
+	s.Wait() // must not block: cancelled transitions are accounted for
+
+	time.Sleep(60 * time.Millisecond)
+	if err := f.Send("a", "b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if in, ok := b.TryRecv(0); !ok {
+		t.Fatal("cancelled fault still partitioned the link")
+	} else {
+		ReleaseFrame(in.Frame)
+	}
+}

@@ -14,8 +14,53 @@ import (
 	"time"
 
 	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/metrics"
 	"github.com/ftsfc/ftc/internal/netsim"
 )
+
+// Phase identifies a recovery sub-step for the OnPhase hook. The chaos
+// harness uses these to inject crashes in the middle of a recovery — the
+// multi-failure interleavings of the FTC technical report's §5.2
+// experiments ("if the contacted replica fails during recovery, the
+// orchestrator re-initializes the new replica").
+type Phase int
+
+// Recovery sub-steps, in execution order.
+const (
+	// PhaseSpawned fires after the replacement's fabric node exists but
+	// before any state has been fetched.
+	PhaseSpawned Phase = iota
+	// PhaseFetched fires after state recovery succeeded, before rerouting.
+	PhaseFetched
+	// PhaseAdopted fires after the chain has been rerouted through the
+	// replacement (the recovery is complete but the report not yet
+	// recorded).
+	PhaseAdopted
+)
+
+// String names the phase for traces.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSpawned:
+		return "spawned"
+	case PhaseFetched:
+		return "fetched"
+	case PhaseAdopted:
+		return "adopted"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// PhaseEvent describes one recovery sub-step transition passed to OnPhase.
+type PhaseEvent struct {
+	// RingIndex is the ring position being recovered.
+	RingIndex int
+	// Phase is the sub-step just completed.
+	Phase Phase
+	// Replacement is the fabric node of the replica being brought up.
+	Replacement netsim.NodeID
+}
 
 // Config tunes failure detection.
 type Config struct {
@@ -76,21 +121,44 @@ type Orchestrator struct {
 	stopped  chan struct{}
 	wg       sync.WaitGroup
 
+	detected  metrics.Counter
+	recHist   *metrics.Histogram
+	fetchHist *metrics.Histogram
+
 	// OnRecovery, if set, is called after each recovery attempt.
 	OnRecovery func(RecoveryReport)
+	// OnPhase, if set, is called synchronously at each recovery sub-step
+	// (see Phase). Fault-injection harnesses hook it to crash replicas in
+	// the middle of a recovery; it must not block for long, since it runs
+	// on the recovery path and extends the measured phase timings.
+	OnPhase func(PhaseEvent)
 }
 
 // New creates an orchestrator on its own fabric node.
 func New(cfg Config, fabric *netsim.Fabric, id netsim.NodeID, chain *core.Chain) *Orchestrator {
 	return &Orchestrator{
-		cfg:      cfg.WithDefaults(),
-		fabric:   fabric,
-		node:     fabric.AddNode(id, netsim.NodeConfig{}),
-		chain:    chain,
-		handling: make(map[int]bool),
-		stopped:  make(chan struct{}),
+		cfg:       cfg.WithDefaults(),
+		fabric:    fabric,
+		node:      fabric.AddNode(id, netsim.NodeConfig{}),
+		chain:     chain,
+		handling:  make(map[int]bool),
+		stopped:   make(chan struct{}),
+		recHist:   metrics.NewHistogram(),
+		fetchHist: metrics.NewHistogram(),
 	}
 }
+
+// Detected reports how many failures the heartbeat detector has declared
+// (manual Recover calls are not counted).
+func (o *Orchestrator) Detected() uint64 { return o.detected.Value() }
+
+// RecoveryHist is the histogram of total recovery times across successful
+// recoveries (Figure 13's Total column as a distribution).
+func (o *Orchestrator) RecoveryHist() *metrics.Histogram { return o.recHist }
+
+// FetchHist is the histogram of state-recovery (fetch) times across
+// successful recoveries.
+func (o *Orchestrator) FetchHist() *metrics.Histogram { return o.fetchHist }
 
 // NodeID returns the orchestrator's fabric node id.
 func (o *Orchestrator) NodeID() netsim.NodeID { return o.node.ID() }
@@ -138,6 +206,7 @@ func (o *Orchestrator) monitor(idx int) {
 			continue
 		}
 		misses = 0
+		o.detected.Inc()
 		o.recover(idx)
 	}
 }
@@ -210,6 +279,7 @@ func (o *Orchestrator) recover(idx int) (rep0 RecoveryReport, raced bool) {
 	// region-distance cost this phase measures.
 	_ = core.Ping(ctx, o.fabric, o.node.ID(), nr.SimID(), o.cfg.RecoveryTimeout)
 	rep.Init = time.Since(t0)
+	o.phase(PhaseEvent{RingIndex: idx, Phase: PhaseSpawned, Replacement: nr.SimID()})
 
 	// Step 2 — state recovery from alive group members.
 	t1 := time.Now()
@@ -220,11 +290,13 @@ func (o *Orchestrator) recover(idx int) (rep0 RecoveryReport, raced bool) {
 		return rep, false
 	}
 	rep.StateFetch = time.Since(t1)
+	o.phase(PhaseEvent{RingIndex: idx, Phase: PhaseFetched, Replacement: nr.SimID()})
 
 	// Step 3 — reroute traffic through the new replica.
 	t2 := time.Now()
 	o.chain.Adopt(nr)
 	rep.Reroute = time.Since(t2)
+	o.phase(PhaseEvent{RingIndex: idx, Phase: PhaseAdopted, Replacement: nr.SimID()})
 	rep.Total = time.Since(t0)
 	if h := nr.Head(); h != nil {
 		rep.Middlebox = fmt.Sprintf("mb%d", h.MB())
@@ -233,7 +305,18 @@ func (o *Orchestrator) recover(idx int) (rep0 RecoveryReport, raced bool) {
 	return rep, false
 }
 
+// phase invokes the OnPhase hook, if installed.
+func (o *Orchestrator) phase(ev PhaseEvent) {
+	if o.OnPhase != nil {
+		o.OnPhase(ev)
+	}
+}
+
 func (o *Orchestrator) record(rep RecoveryReport) {
+	if rep.Err == nil {
+		o.recHist.Record(rep.Total)
+		o.fetchHist.Record(rep.StateFetch)
+	}
 	o.mu.Lock()
 	o.reports = append(o.reports, rep)
 	o.mu.Unlock()

@@ -152,6 +152,90 @@ func TestOrchestratorIgnoresHealthyChain(t *testing.T) {
 	}
 }
 
+func TestOnPhaseHookOrderAndHistograms(t *testing.T) {
+	f, ch, gen, sink := buildChain(t, netsim.Config{})
+	o := New(Config{}, f, "orch", ch)
+	var phases []Phase
+	o.OnPhase = func(ev PhaseEvent) {
+		if ev.RingIndex != 1 {
+			t.Errorf("phase %v for ring index %d, want 1", ev.Phase, ev.RingIndex)
+		}
+		if ev.Replacement == "" {
+			t.Errorf("phase %v carries no replacement id", ev.Phase)
+		}
+		phases = append(phases, ev.Phase)
+	}
+	pump(t, ch, gen, sink, 20)
+	ch.Crash(1)
+	rep := o.Recover(1)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	want := []Phase{PhaseSpawned, PhaseFetched, PhaseAdopted}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("phases = %v, want %v", phases, want)
+		}
+	}
+	if o.RecoveryHist().Count() != 1 || o.FetchHist().Count() != 1 {
+		t.Fatalf("histograms not recorded: recovery n=%d fetch n=%d",
+			o.RecoveryHist().Count(), o.FetchHist().Count())
+	}
+	if o.RecoveryHist().Max() < rep.StateFetch {
+		t.Fatalf("recovery hist max %v < state fetch %v", o.RecoveryHist().Max(), rep.StateFetch)
+	}
+}
+
+func TestCrashDuringRecoveryFallsBackToAliveSource(t *testing.T) {
+	// f=2: three-member groups. Crash replica 1; while its replacement is
+	// being initialized, crash replica 2 as well (still ≤ f concurrent
+	// failures). State recovery must fall back to the remaining alive
+	// member, and both positions must be recoverable.
+	fab := netsim.New(netsim.Config{})
+	gen := fab.AddNode("gen", netsim.NodeConfig{QueueCap: 1 << 14})
+	sink := fab.AddNode("sink", netsim.NodeConfig{QueueCap: 1 << 14})
+	mbs := []core.Middlebox{
+		mbox.NewMonitor(1, 2), mbox.NewMonitor(1, 2), mbox.NewMonitor(1, 2),
+	}
+	cfg := core.Config{F: 2, Workers: 2, Partitions: 16, PropagateEvery: time.Millisecond}
+	ch := core.NewChain(cfg, fab, "oc", mbs, "sink")
+	ch.Start()
+	t.Cleanup(func() {
+		ch.Stop()
+		fab.Stop()
+	})
+	o := New(Config{}, fab, "orch", ch)
+	pump(t, ch, gen, sink, 30)
+
+	crashed := false
+	o.OnPhase = func(ev PhaseEvent) {
+		if ev.Phase == PhaseSpawned && ev.RingIndex == 1 && !crashed {
+			crashed = true
+			ch.Crash(2)
+		}
+	}
+	ch.Crash(1)
+	if rep := o.Recover(1); rep.Err != nil {
+		t.Fatalf("recovery of 1 with a mid-recovery correlated failure: %v", rep.Err)
+	}
+	if !crashed {
+		t.Fatal("mid-recovery crash hook never fired")
+	}
+	if rep := o.Recover(2); rep.Err != nil {
+		t.Fatalf("recovery of 2: %v", rep.Err)
+	}
+	pump(t, ch, gen, sink, 30)
+	if err := ch.WaitQuiescent(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.CheckConvergence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestOnRecoveryCallback(t *testing.T) {
 	f, ch, gen, sink := buildChain(t, netsim.Config{})
 	o := New(Config{}, f, "orch", ch)

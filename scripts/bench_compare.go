@@ -1,0 +1,159 @@
+//go:build ignore
+
+// Command bench_compare diffs `go test -bench` output (stdin) against the
+// checked-in BENCH_BASELINE.json, the CI benchmark regression guard:
+//
+//   - allocs/op is exact-fail: allocation counts are deterministic, so any
+//     increase over baseline exits 1.
+//   - pps (and ns/op for benchmarks without a throughput metric) is
+//     advisory with a ±10% warn band: CI runners are noisy, so timing
+//     drift prints a warning but never fails the build.
+//
+// Benchmark names are matched with any -N GOMAXPROCS suffix stripped.
+// Baseline entries absent from the input, and measured benchmarks with no
+// baseline, are reported but never fatal, so partial runs (bench-smoke vs
+// bench-json) stay usable.
+//
+// Usage: go test -run=NONE -bench=... | go run scripts/bench_compare.go [baseline.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Name   string   `json:"name"`
+	PPS    *float64 `json:"pps,omitempty"`
+	NsOp   *float64 `json:"ns_per_op,omitempty"`
+	Allocs *float64 `json:"allocs_per_op,omitempty"`
+}
+
+type baseline struct {
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+// warnBand is the advisory tolerance for throughput/latency drift.
+const warnBand = 0.10
+
+var suffixRe = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	path := "BENCH_BASELINE.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "bench_compare: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	want := make(map[string]entry, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		want[b.Name] = b
+	}
+
+	measured := parseBench(os.Stdin)
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "bench_compare: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	fails := 0
+	seen := make(map[string]bool, len(measured))
+	for _, m := range measured {
+		b, ok := want[m.Name]
+		if !ok {
+			fmt.Printf("bench_compare: %-32s no baseline entry (add it to %s)\n", m.Name, path)
+			continue
+		}
+		seen[m.Name] = true
+		if b.Allocs != nil && m.Allocs != nil {
+			switch {
+			case *m.Allocs > *b.Allocs:
+				fmt.Printf("bench_compare: FAIL %-27s allocs/op %g > baseline %g\n", m.Name, *m.Allocs, *b.Allocs)
+				fails++
+			case *m.Allocs < *b.Allocs:
+				fmt.Printf("bench_compare: %-32s allocs/op improved (%g < %g) — refresh the baseline\n", m.Name, *m.Allocs, *b.Allocs)
+			}
+		}
+		switch {
+		case b.PPS != nil && m.PPS != nil:
+			drift(m.Name, "pps", *m.PPS, *b.PPS, true)
+		case b.NsOp != nil && m.NsOp != nil:
+			drift(m.Name, "ns/op", *m.NsOp, *b.NsOp, false)
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			fmt.Printf("bench_compare: %-32s in baseline but not measured this run\n", name)
+		}
+	}
+	if fails > 0 {
+		fmt.Printf("bench_compare: %d allocation regression(s)\n", fails)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: %d benchmark(s) checked, no allocation regressions\n", len(seen))
+}
+
+// drift prints an advisory warning when got strays more than warnBand from
+// base. higherIsBetter selects which direction is a regression for the
+// warning text; both directions are reported (an unexplained speedup on a
+// throughput metric usually means the benchmark changed shape).
+func drift(name, metric string, got, base float64, higherIsBetter bool) {
+	if base == 0 {
+		return
+	}
+	rel := (got - base) / base
+	if rel > -warnBand && rel < warnBand {
+		return
+	}
+	dir := "slower"
+	if (rel > 0) == higherIsBetter {
+		dir = "faster"
+	}
+	fmt.Printf("bench_compare: WARN %-27s %s %+0.1f%% vs baseline (%g vs %g, %s) — advisory only\n",
+		name, metric, rel*100, got, base, dir)
+}
+
+// parseBench extracts per-benchmark metrics from `go test -bench` text.
+func parseBench(f *os.File) []entry {
+	var out []entry
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		e := entry{Name: suffixRe.ReplaceAllString(fields[0], "")}
+		for i := 2; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "pps":
+				p := v
+				e.PPS = &p
+			case "ns/op":
+				n := v
+				e.NsOp = &n
+			case "allocs/op":
+				a := v
+				e.Allocs = &a
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
