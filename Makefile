@@ -23,14 +23,15 @@ vet:
 # must the chaos harness and the orchestrator it drives (DESIGN.md §10
 # links to their invariant and phase definitions).
 doclint:
-	$(GO) run scripts/doclint.go internal/trans internal/chaos internal/orch cmd/ftcd cmd/ftcgen
+	$(GO) run scripts/doclint.go internal/state internal/trans internal/chaos internal/orch cmd/ftcd cmd/ftcgen
 
 # Race-check the packages that share frames and scratch buffers across
 # goroutines: the pooled-frame ownership rules live here. internal/trans
 # covers the burst tunnel (packing, socket drain, burst injection) and its
-# burst-equivalence/crash tests.
+# burst-equivalence/crash tests; internal/state covers the swiss-table
+# partitions and TTL wheels that every engine and the expiry driver share.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/... ./internal/orch/...
+	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/... ./internal/orch/... ./internal/state/...
 
 # Scheduler stress gate: the burst/steal equivalence proofs (identical
 # delivered sets + state digests across burst 1/32/adaptive and steal
@@ -46,12 +47,15 @@ stress:
 bench-smoke:
 	$(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x
 
-# Benchmark regression guard: bench-smoke diffed against the checked-in
-# baseline. allocs/op regressions fail the build; timing drift beyond ±10%
-# is an advisory warning (CI runners are noisy). Refresh BENCH_BASELINE.json
-# when an improvement lands.
+# Benchmark regression guard: bench-smoke plus the million-flow store
+# sweep, diffed against the checked-in baseline. allocs/op regressions fail
+# the build; timing drift beyond ±10% is an advisory warning (CI runners
+# are noisy). Refresh BENCH_BASELINE.json when an improvement lands.
+# MillionFlows runs a fixed iteration count so its 1M-key fill is paid once
+# per sub-benchmark instead of once per benchtime ramp step.
 bench-guard:
-	$(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x \
+	{ $(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x ; \
+	  $(GO) test . -run=NONE -bench=MillionFlows -benchtime=100000x ; } \
 		| tee /dev/stderr | $(GO) run scripts/bench_compare.go
 
 # Deterministic chaos campaigns under -race: CHAOS_COUNT consecutive seeds
@@ -82,6 +86,7 @@ bench-bridge:
 # benchmarks at the configured burst size — including the skewed
 # elephant-queue benchmark (BenchmarkFig5Skewed, steal vs nosteal; the
 # steal win needs ≥2 physical cores, see DESIGN.md §9) — plus the
+# million-flow store sweep (fixed iteration count, see bench-guard) and the
 # multi-process bridge benchmark, and writes BENCH_<date>.json with pps,
 # ns/op, and allocs/op per sub-benchmark.
 #   make bench-json            # default burst (32)
@@ -89,6 +94,7 @@ bench-bridge:
 #   make bench-json BURST=0    # adaptive NAPI-style burst sizing
 bench-json:
 	{ FTC_BURST=$(BURST) $(GO) test . -run=NONE -bench='Fig5|Fig7' -benchtime=2s -benchmem ; \
+	  $(GO) test . -run=NONE -bench=MillionFlows -benchtime=2000000x -benchmem ; \
 	  $(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=2s -benchmem ; } \
 		| tee /dev/stderr \
 		| awk -v burst=$(BURST) -v date=$(DATE) -f scripts/bench_json.awk \

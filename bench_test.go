@@ -10,15 +10,20 @@
 package ftc
 
 import (
+	"bytes"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/ftsfc/ftc/internal/core"
 	"github.com/ftsfc/ftc/internal/exp"
+	"github.com/ftsfc/ftc/internal/hashx"
+	"github.com/ftsfc/ftc/internal/state"
 	"github.com/ftsfc/ftc/internal/wire"
 )
 
@@ -135,10 +140,10 @@ func BenchmarkFig5Skewed(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			p := exp.Params{Flows: 64, PacketSize: 128, Burst: envBurst(),
 				Skew: 1.2, NoSteal: mode.noSteal}
-			// Per-flow state (keys >> flows): inter-flow parallelism is what
-			// the scheduler redistributes; shared Gen keys would serialize
-			// workers on partition locks regardless of scheduling.
-			s, err := exp.BuildSUT(exp.FTC, exp.SingleGenKeys(16, 4096), p, 4)
+			// Per-flow state: inter-flow parallelism is what the scheduler
+			// redistributes; shared Gen keys would serialize workers on
+			// partition locks regardless of scheduling.
+			s, err := exp.BuildSUT(exp.FTC, exp.SingleGenPerFlow(16), p, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -374,4 +379,299 @@ func BenchmarkAblationDepVectors(b *testing.B) {
 func BenchmarkAblationTransactions(b *testing.B) {
 	tb := exp.AblationTransactions(b.N/8+1, 8)
 	_ = tb
+}
+
+// Million-flow state-engine benchmark. Holds ~1M live flow entries and
+// measures the swiss-table store (internal/state) against seedStore, a
+// faithful reproduction of the pre-rebuild layout (per-partition mutex +
+// map[string][]byte with a copy per read and an allocation per write).
+// Two access patterns per engine:
+//
+//   - get:   Zipf-skewed lookups (s=1.2) over the live set — the NAT/counter
+//     read path in isolation. The table side must run at 0 allocs/op.
+//   - sweep: the headline churning key-space sweep — every op reads one
+//     Zipf-ranked recent flow, every mfCreateEvery-th op creates a flow, and
+//     at burst-boundary cadence (one clock tick per mfCreatesPerTick
+//     creates) due flows age out, keeping the live population pinned near
+//     mfLive. The table expires off the TTL wheel (0 allocs/op); the seed
+//     map has no aging, so its baseline carries the classic flat-map scheme
+//     — a deadline sidecar swept by periodic partition scans (seedAger).
+const (
+	mfLive           = 1 << 20            // live flow population
+	mfRing           = mfLive + mfLive/4  // key ring; the margin keeps creates from reviving live keys
+	mfCreateEvery    = 8                  // sweep ops per flow creation (new-flow packet ratio)
+	mfCreatesPerTick = 64                 // creates per clock tick; TTL = mfLive/mfCreatesPerTick ticks
+	mfParts          = 64                 // store partitions
+	mfValSize        = 32                 // flow-entry value size (NAT mapping scale)
+	mfTTLTicks       = mfLive / mfCreatesPerTick
+)
+
+// mfKeys precomputes the key ring and each key's partition so neither hash
+// nor formatting shows up inside the measured loops.
+func mfKeys() ([]string, []uint16) {
+	keys := make([]string, mfRing)
+	parts := make([]uint16, mfRing)
+	probe := state.New(mfParts)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("flow:%07d", i)
+		parts[i] = probe.PartitionOf(keys[i])
+	}
+	return keys, parts
+}
+
+// mfZipf precomputes a table of Zipf-distributed recency ranks (0 = most
+// recently created flow) so the generator itself stays out of the measured
+// loops. Ranks stop a few collection rounds short of mfLive so a ranked
+// flow is always still live in either engine.
+func mfZipf() []int {
+	idx := make([]int, 1<<16)
+	z := rand.NewZipf(rand.New(rand.NewSource(1)), 1.2, 1, mfLive-4*mfCreatesPerTick)
+	for i := range idx {
+		idx[i] = int(z.Uint64())
+	}
+	return idx
+}
+
+// seedPart is one seedStore partition: the seed's mutex + Go map layout.
+type seedPart struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// seedStore reproduces the pre-rebuild store: partitioned map[string][]byte
+// where every read copies the value out and every write allocates a fresh
+// buffer. It exists only as the benchmark baseline.
+type seedStore struct {
+	parts []seedPart
+}
+
+func newSeedStore(n int) *seedStore {
+	s := &seedStore{parts: make([]seedPart, n)}
+	for i := range s.parts {
+		s.parts[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func (s *seedStore) part(key string) *seedPart {
+	return &s.parts[hashx.Sum32String(key)%uint32(len(s.parts))]
+}
+
+func (s *seedStore) get(key string) ([]byte, bool) {
+	p := s.part(key)
+	p.mu.Lock()
+	v, ok := p.m[key]
+	if !ok {
+		p.mu.Unlock()
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	p.mu.Unlock()
+	return out, true
+}
+
+func (s *seedStore) put(key string, val []byte) {
+	p := s.part(key)
+	p.mu.Lock()
+	p.m[key] = append([]byte(nil), val...)
+	p.mu.Unlock()
+}
+
+// seedAger bolts flow aging onto seedStore the way a flat map has to: a
+// per-partition deadline sidecar swept by periodic scans. The sweep visits
+// one partition per clock tick — full coverage every mfParts ticks — so its
+// expiry-latency bound is mfParts× looser than the wheel's one-tick bound;
+// the comparison is deliberately generous to the baseline (scanning every
+// partition per tick, the wheel's actual contract, would be mfParts× worse
+// again).
+type seedAger struct {
+	st   *seedStore
+	exp  []map[string]int64 // deadline tick per live key, same partitioning as st
+	next int                // next partition to sweep
+}
+
+func newSeedAger(st *seedStore) *seedAger {
+	a := &seedAger{st: st, exp: make([]map[string]int64, len(st.parts))}
+	for i := range a.exp {
+		a.exp[i] = make(map[string]int64)
+	}
+	return a
+}
+
+// put installs a flow with a deadline, partition precomputed by the caller
+// (mirroring how Update carries Partition on the table side).
+func (a *seedAger) put(key string, part uint16, val []byte, deadline int64) {
+	p := &a.st.parts[part]
+	p.mu.Lock()
+	p.m[key] = append([]byte(nil), val...)
+	p.mu.Unlock()
+	a.exp[part][key] = deadline
+}
+
+// tick sweeps the next partition, deleting every flow past its deadline.
+func (a *seedAger) tick(now int64) {
+	part := a.next
+	a.next = (a.next + 1) % len(a.exp)
+	m := a.exp[part]
+	p := &a.st.parts[part]
+	p.mu.Lock()
+	for k, d := range m {
+		if d <= now {
+			delete(m, k)
+			delete(p.m, k)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// mfReport emits throughput under the same metric name the chain benchmarks
+// use so scripts/bench_json.awk and bench_compare pick the lines up.
+func mfReport(b *testing.B, start time.Time) {
+	b.StopTimer()
+	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "pps")
+	}
+}
+
+// BenchmarkMillionFlows is the store-level scale benchmark backing the
+// million-flow claim: see the const block above for the workload shape.
+func BenchmarkMillionFlows(b *testing.B) {
+	keys, parts := mfKeys()
+	zipf := mfZipf()
+	val := bytes.Repeat([]byte{0xab}, mfValSize)
+
+	b.Run("table/get", func(b *testing.B) {
+		st := state.New(mfParts)
+		ups := make([]state.Update, 0, 1024)
+		for i := 0; i < mfLive; i++ {
+			ups = append(ups, state.Update{Key: keys[i], Value: val, Partition: parts[i]})
+			if len(ups) == cap(ups) {
+				st.Apply(ups)
+				ups = ups[:0]
+			}
+		}
+		st.Apply(ups)
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			v, ok := st.GetAppend(keys[zipf[i&(len(zipf)-1)]], buf[:0])
+			if !ok {
+				b.Fatal("live key missing")
+			}
+			buf = v
+		}
+		mfReport(b, start)
+	})
+
+	b.Run("table/sweep", func(b *testing.B) {
+		var now int64 = 1
+		st := state.New(mfParts)
+		st.ConfigureExpiry(state.Expiry{
+			// Tick 1ns makes ticks integral: TTL is mfTTLTicks ticks, so at
+			// one create per tick-slot the live set stays at ~mfLive.
+			TTL:      time.Duration(mfTTLTicks),
+			Tick:     1,
+			Prefixes: []string{"flow:"},
+			Clock:    func() int64 { return now },
+		})
+		one := make([]state.Update, 1)
+		expired := make([]string, 0, 4*mfCreatesPerTick)
+		dels := make([]state.Update, 0, 4*mfCreatesPerTick)
+		creates := 0
+		create := func() {
+			if creates%mfCreatesPerTick == 0 {
+				now++
+				expired = st.CollectExpired(now, -1, expired[:0])
+				dels = dels[:0]
+				for _, k := range expired {
+					dels = append(dels, state.Update{Key: k, Partition: st.PartitionOf(k)})
+				}
+				st.Apply(dels)
+			}
+			j := creates % mfRing
+			one[0] = state.Update{Key: keys[j], Value: val, Partition: parts[j]}
+			st.Apply(one)
+			creates++
+		}
+		// Fill, then warm one full TTL window before the timer: the second
+		// window cycles every wheel bucket through arm → cascade → collect,
+		// so slice capacities reach steady state — a one-time cost that
+		// would otherwise pollute short (-benchtime=100x) guard runs.
+		for creates < 2*mfLive {
+			create()
+		}
+		var buf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if i%mfCreateEvery == 0 {
+				create()
+			}
+			idx := (creates - 1 - zipf[i&(len(zipf)-1)]) % mfRing
+			v, ok := st.GetAppend(keys[idx], buf[:0])
+			if !ok {
+				b.Fatalf("recent flow %q missing", keys[idx])
+			}
+			buf = v
+		}
+		mfReport(b, start)
+	})
+
+	b.Run("seedmap/get", func(b *testing.B) {
+		s := newSeedStore(mfParts)
+		for i := 0; i < mfLive; i++ {
+			s.put(keys[i], val)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			v, ok := s.get(keys[zipf[i&(len(zipf)-1)]])
+			if !ok {
+				b.Fatal("live key missing")
+			}
+			_ = v
+		}
+		mfReport(b, start)
+	})
+
+	b.Run("seedmap/sweep", func(b *testing.B) {
+		var now int64 = 1
+		s := newSeedStore(mfParts)
+		a := newSeedAger(s)
+		creates := 0
+		create := func() {
+			if creates%mfCreatesPerTick == 0 {
+				now++
+				a.tick(now)
+			}
+			j := creates % mfRing
+			a.put(keys[j], parts[j], val, now+mfTTLTicks)
+			creates++
+		}
+		// Same fill + one-TTL-window warmup as table/sweep so both engines
+		// enter the timer at the same point in the expiry cycle.
+		for creates < 2*mfLive {
+			create()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if i%mfCreateEvery == 0 {
+				create()
+			}
+			idx := (creates - 1 - zipf[i&(len(zipf)-1)]) % mfRing
+			v, ok := s.get(keys[idx])
+			if !ok {
+				b.Fatalf("recent flow %q missing", keys[idx])
+			}
+			_ = v
+		}
+		mfReport(b, start)
+	})
 }

@@ -32,6 +32,10 @@ type Options struct {
 	// it to tamper with replica state and prove the checkers can fail;
 	// leave nil otherwise.
 	PostQuiesce func(*core.Chain)
+	// PostExpire, if set, runs after the forced-expiry epoch re-quiesced,
+	// just before the flow-resurrection audit (FlowTTL campaigns only). The
+	// negative-control test uses it to fabricate a resurrected flow key.
+	PostExpire func(*core.Chain)
 }
 
 // Result is the outcome of one campaign.
@@ -68,8 +72,8 @@ func (r *Result) Failed() bool { return len(r.Violations) > 0 }
 // OneLine renders the result as a single log line.
 func (r *Result) OneLine() string {
 	return fmt.Sprintf(
-		"seed=%-6d f=%d engine=%s nosteal=%-5v sent=%d delivered=%d crashes=%d recoveries=%d retries=%d detected=%d rec_p99=%v violations=%d elapsed=%v",
-		r.Campaign.Seed, r.Campaign.F, r.Campaign.Engine, r.Campaign.NoSteal,
+		"seed=%-6d f=%d engine=%s nosteal=%-5v ttl=%-5v sent=%d delivered=%d crashes=%d recoveries=%d retries=%d detected=%d rec_p99=%v violations=%d elapsed=%v",
+		r.Campaign.Seed, r.Campaign.F, r.Campaign.Engine, r.Campaign.NoSteal, r.Campaign.FlowTTL,
 		r.Sent, r.Delivered, r.Crashes, r.Recoveries, r.Retries, r.Detected,
 		r.Recovery.P99.Round(time.Microsecond), len(r.Violations),
 		r.Elapsed.Round(time.Millisecond))
@@ -136,6 +140,16 @@ func Run(c Campaign, opt Options) *Result {
 		RepairEvery:    2 * time.Millisecond,
 		RepairDeadline: 10 * time.Second,
 		NewStore:       c.newStore(),
+	}
+	// FlowTTL campaigns age flows on a manual clock: the TTL is far longer
+	// than any campaign, so nothing expires mid-workload (the committed-state
+	// audit needs every counter intact); the post-audit epoch jumps the clock
+	// to force a full drain deterministically.
+	var expOffset atomic.Int64
+	if c.FlowTTL {
+		const expiryBase = int64(1e15) // positive and far from tick zero
+		cfg.FlowTTL = time.Hour
+		cfg.ExpiryClock = func() int64 { return expiryBase + expOffset.Load() }
 	}
 	chain := core.NewChain(cfg, fab, "chaos", mbs, sink.ID())
 	chain.Start()
@@ -373,6 +387,28 @@ func Run(c Campaign, opt Options) *Result {
 		}
 		if rep.Err == nil {
 			res.Recoveries++
+		}
+	}
+
+	// Forced-expiry epoch: with the normal audits done (they need the flow
+	// counters intact), jump the manual clock past the TTL, drain every flow
+	// entry through the replicated-deletion path, and audit that no
+	// surviving store — including recovered replacements — resurrects one.
+	if c.FlowTTL {
+		expOffset.Add(int64(2 * time.Hour))
+		trace("forced expiry installed %d deletions", chain.TriggerExpiry())
+		if err := chain.WaitQuiescent(c.QuiesceTimeout); err != nil {
+			violate(InvNoQuiescence, "after forced expiry: %v", err)
+		}
+		if opt.PostExpire != nil {
+			opt.PostExpire(chain)
+		}
+		for _, v := range checkResurrected(chain, fcs) {
+			trace("VIOLATION %s", v)
+			res.Violations = append(res.Violations, v)
+		}
+		if err := chain.CheckConvergence(); err != nil {
+			violate(InvDivergentStores, "after forced expiry: %v", err)
 		}
 	}
 

@@ -148,6 +148,36 @@ func TestCheckerCatchesTamperedStore(t *testing.T) {
 	}
 }
 
+// TestCheckerCatchesResurrectedFlow is the expiry negative control: run a
+// FlowTTL campaign and plant a flow-prefixed key in a head store after the
+// forced-expiry epoch — the resurrection audit must fire (and so must the
+// convergence audit, since only the head was tampered with). It also proves
+// the positive path: an untampered FlowTTL campaign on the same seed passes.
+func TestCheckerCatchesResurrectedFlow(t *testing.T) {
+	c := chaos.Derive(9) // seed bit 3 set: FlowTTL on
+	if !c.FlowTTL {
+		t.Fatal("seed 9 no longer derives a FlowTTL campaign")
+	}
+	opt := chaos.Options{PostExpire: func(ch *core.Chain) {
+		st := ch.Replica(0).Head().Store()
+		st.Apply([]state.Update{{
+			Key:       "fc0-zombie",
+			Value:     []byte{0, 0, 0, 0, 0, 0, 0, 1},
+			Partition: st.PartitionOf("fc0-zombie"),
+		}})
+	}}
+	res := chaos.Run(c, opt)
+	found := false
+	for _, v := range res.Violations {
+		if v.Invariant == chaos.InvFlowResurrected {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fabricated resurrected flow key not detected; violations: %v", res.Violations)
+	}
+}
+
 // TestCheckerCatchesGroupWipeout is the f+1 negative control: crashing an
 // entire replication group (2 adjacent positions at f=1) exceeds the
 // protocol's tolerance, and the harness must say so rather than pass.

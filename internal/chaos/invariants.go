@@ -3,9 +3,11 @@ package chaos
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/ftsfc/ftc/internal/core"
 	"github.com/ftsfc/ftc/internal/mbox"
+	"github.com/ftsfc/ftc/internal/state"
 	"github.com/ftsfc/ftc/internal/wire"
 )
 
@@ -35,6 +37,11 @@ const (
 	// InvNoQuiescence: replication never caught up after traffic stopped —
 	// a lost or wedged committed log.
 	InvNoQuiescence = "no-quiescence"
+	// InvFlowResurrected: after the forced-expiry epoch drained every flow
+	// entry, some surviving store (head or follower, including recovered
+	// replacements) still holds a flow-prefixed key — expiry deletions did
+	// not replicate everywhere, or recovery resurrected aged-out state.
+	InvFlowResurrected = "flow-resurrected"
 )
 
 // Violation is one invariant breach found by the post-campaign audit.
@@ -104,6 +111,30 @@ func CheckEgress(records []EgressRecord, packets int) []Violation {
 	for _, id := range ids {
 		vs = capped(vs, Violation{InvDuplicateEgress,
 			fmt.Sprintf("payload id %d egressed %d times", id, seen[id])})
+	}
+	return vs
+}
+
+// checkResurrected audits the post-expiry state: once the forced-expiry
+// epoch drained every due flow entry and replication re-quiesced, no
+// surviving store — head or follower, original or recovered replacement —
+// may still hold a key under any FlowCounter's prefix.
+func checkResurrected(ch *core.Chain, fcs []*mbox.FlowCounter) []Violation {
+	var vs []Violation
+	ring := ch.Ring()
+	for j, fc := range fcs {
+		audit := func(name string, b state.Backend) {
+			for _, u := range b.Snapshot() {
+				if strings.HasPrefix(u.Key, fc.Prefix()) {
+					vs = capped(vs, Violation{InvFlowResurrected,
+						fmt.Sprintf("%s still holds expired flow key %q", name, u.Key)})
+				}
+			}
+		}
+		audit(fmt.Sprintf("mb %d head", j), ch.Replica(j).Head().Store())
+		for _, i := range ring.Members(j)[1:] {
+			audit(fmt.Sprintf("mb %d follower@%d", j, i), ch.Replica(i).Follower(uint16(j)).Store())
+		}
 	}
 	return vs
 }

@@ -108,6 +108,11 @@ type Campaign struct {
 	// NoSteal pins workers 1:1 onto ingress queues instead of the
 	// work-stealing scheduler.
 	NoSteal bool
+	// FlowTTL arms flow-state aging on the chain (a long TTL on a manual
+	// clock, so nothing expires mid-workload); after the normal audits the
+	// runner jumps the clock past the TTL, forces expiry, and audits that no
+	// surviving store resurrects an expired flow key.
+	FlowTTL bool
 	// ChainLen is the middlebox count; the ring extends to F+1 if longer.
 	ChainLen int
 	// Workers is the packet-processing thread count per replica.
@@ -145,8 +150,10 @@ func (c Campaign) RingLen() int {
 // Derive expands a seed into a campaign. The matrix cell comes from
 // seed mod 8 — bit 0 picks f∈{1,2}, bit 1 the state engine, bit 2 the
 // scheduler — so any 8 consecutive seeds sweep the full
-// f=1..2 × {2pl,occ} × {steal,nosteal} matrix; everything else comes from
-// a rand stream seeded with the seed.
+// f=1..2 × {2pl,occ} × {steal,nosteal} matrix; bit 3 toggles FlowTTL (read
+// straight off the seed, consuming no rng draws, so adding it did not
+// reshuffle existing schedules); everything else comes from a rand stream
+// seeded with the seed.
 func Derive(seed int64) Campaign {
 	cell := int(((seed % 8) + 8) % 8)
 	c := Campaign{
@@ -154,6 +161,7 @@ func Derive(seed int64) Campaign {
 		F:              1 + cell&1,
 		Engine:         Engine2PL,
 		NoSteal:        cell&4 != 0,
+		FlowTTL:        (seed>>3)&1 != 0,
 		Workers:        2,
 		RecoveryBound:  5 * time.Second,
 		QuiesceTimeout: 30 * time.Second,

@@ -77,13 +77,41 @@ func (c *Chain) buildReplica(idx int, id netsim.NodeID, mb Middlebox) *Replica {
 		Selector: wire.RSSSelector,
 	})
 	return NewReplica(c.cfg, ReplicaSpec{
-		Index:   idx,
-		Sim:     sim,
-		Fabric:  c.fabric,
-		RingIDs: c.ringIDs,
-		Egress:  c.egress,
-		MB:      mb,
+		Index:       idx,
+		Sim:         sim,
+		Fabric:      c.fabric,
+		RingIDs:     c.ringIDs,
+		Egress:      c.egress,
+		MB:          mb,
+		TTLPrefixes: c.ttlPrefixes,
 	})
+}
+
+// ttlPrefixes resolves the FlowTTLer prefixes of middlebox mb, so every
+// replica (head and followers alike) arms identical TTL configurations for
+// the stores it hosts.
+func (c *Chain) ttlPrefixes(mb int) []string {
+	if mb < 0 || mb >= len(c.mbs) {
+		return nil
+	}
+	if f, ok := c.mbs[mb].(FlowTTLer); ok {
+		return f.FlowTTLPrefixes()
+	}
+	return nil
+}
+
+// TriggerExpiry synchronously drains every due flow entry at every head,
+// looping until the TTL wheels report nothing further, and returns the
+// total number of replicated deletions installed. Tests and the chaos
+// harness call it after advancing a manual expiry clock (Config.ExpiryClock)
+// to make expiry deterministic; production chains age flows on the
+// burst/resend cadence without it.
+func (c *Chain) TriggerExpiry() int {
+	total := 0
+	for _, r := range c.snapshot() {
+		total += r.ExpireNow()
+	}
+	return total
 }
 
 // Start launches every replica.

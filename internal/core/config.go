@@ -70,6 +70,25 @@ type Config struct {
 	// the pessimistic state.New (wound-wait 2PL); state.NewOCC selects the
 	// optimistic engine (§3.2's HTM-style adaptation).
 	NewStore func(partitions int) state.Backend
+	// FlowTTL, when positive, ages idle flow entries out of middlebox
+	// stores: keys matching a middlebox's FlowTTLer prefixes expire FlowTTL
+	// after their last write or transactional read. Expiry runs at the head
+	// on burst boundaries and resend ticks — never on followers — and each
+	// expired key becomes an ordinary replicated deletion, so store digests
+	// stay equal across the replication group. Zero (the default) disables
+	// aging; existing workloads and baselines are unaffected.
+	FlowTTL time.Duration
+	// ExpiryEvery throttles how often a head scans its TTL wheels (default
+	// 1ms). Scans are capped at ExpiryBatch keys, so a backlog of expired
+	// flows drains over several bursts instead of stalling one.
+	ExpiryEvery time.Duration
+	// ExpiryBatch caps the replicated deletions per expiry scan (default
+	// 256).
+	ExpiryBatch int
+	// ExpiryClock overrides the expiry time source (nanoseconds; must be
+	// positive). Nil means wall clock. Tests and the chaos harness inject a
+	// manual clock to force or forbid expiry deterministically.
+	ExpiryClock func() int64
 }
 
 // WithDefaults fills zero fields with production defaults.
@@ -121,6 +140,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.NewStore == nil {
 		c.NewStore = func(partitions int) state.Backend { return state.New(partitions) }
+	}
+	if c.ExpiryEvery <= 0 {
+		c.ExpiryEvery = time.Millisecond
+	}
+	if c.ExpiryBatch <= 0 {
+		c.ExpiryBatch = 256
 	}
 	return c
 }

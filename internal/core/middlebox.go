@@ -36,3 +36,13 @@ type Middlebox interface {
 	// Process handles one packet within transaction tx.
 	Process(pkt *wire.Packet, tx state.Txn) (Verdict, error)
 }
+
+// FlowTTLer is the optional middlebox extension that opts its per-flow keys
+// into TTL aging (Config.FlowTTL). FlowTTLPrefixes returns the key prefixes
+// that name per-flow state; keys outside every prefix (shared counters,
+// port allocators) never expire. Prefixes must be disjoint from the
+// middlebox's non-flow key names. Returning nil keeps aging off for this
+// middlebox even when the chain enables FlowTTL.
+type FlowTTLer interface {
+	FlowTTLPrefixes() []string
+}

@@ -77,6 +77,11 @@ type Replica struct {
 	carrier      []byte      // prebuilt carrier frame template
 	releaseDirty atomic.Bool // new wrapped-group commits since last release scan
 
+	expiryOn   bool         // head store has TTL prefixes armed
+	lastExpiry atomic.Int64 // expiry-clock nanos of the last wheel scan
+	expMu      sync.Mutex   // serializes expiry scans
+	expKeys    []string     // reusable CollectExpired buffer
+
 	stats    Stats
 	sched    SchedStats
 	stopOnce sync.Once
@@ -98,6 +103,12 @@ type ReplicaSpec struct {
 	Egress netsim.NodeID
 	// MB is the middlebox this node hosts; nil for extension replicas.
 	MB Middlebox
+	// TTLPrefixes maps a middlebox index to the key prefixes whose entries
+	// age out under Config.FlowTTL (nil = no aging for that middlebox).
+	// The chain derives it from each middlebox's FlowTTLer implementation;
+	// a replica needs the mapping for every middlebox it follows, not just
+	// the one it hosts, so follower stores arm the same TTLs as the head.
+	TTLPrefixes func(mb int) []string
 }
 
 // NewReplica wires up (but does not start) a chain replica.
@@ -119,11 +130,35 @@ func NewReplica(cfg Config, spec ReplicaSpec) *Replica {
 		stopped:    make(chan struct{}),
 	}
 	r.gen.Store(cfg.Gen)
+	ttlFor := func(mb int) []string {
+		if cfg.FlowTTL <= 0 || spec.TTLPrefixes == nil {
+			return nil
+		}
+		return spec.TTLPrefixes(mb)
+	}
+	armTTL := func(st state.Backend, prefixes []string) {
+		st.ConfigureExpiry(state.Expiry{
+			TTL:      cfg.FlowTTL,
+			Prefixes: prefixes,
+			Clock:    cfg.ExpiryClock,
+		})
+	}
 	if spec.MB != nil {
 		r.head = NewHead(uint16(spec.Index), cfg.NewStore(cfg.Partitions))
+		if pre := ttlFor(spec.Index); len(pre) > 0 {
+			armTTL(r.head.Store(), pre)
+			r.expiryOn = true
+		}
 	}
 	for _, j := range ring.FollowerOf(spec.Index) {
-		r.followers[uint16(j)] = NewFollower(uint16(j), cfg.NewStore(cfg.Partitions))
+		f := NewFollower(uint16(j), cfg.NewStore(cfg.Partitions))
+		// Followers arm the same TTL prefixes so restored/recovered stores
+		// keep aging, but they never expire keys themselves: deletions only
+		// arrive as replicated updates from the head.
+		if pre := ttlFor(j); len(pre) > 0 {
+			armTTL(f.Store(), pre)
+		}
+		r.followers[uint16(j)] = f
 	}
 	for j := 0; j < cfg.NumMB; j++ {
 		r.commitSeen[uint16(j)] = make([]uint64, cfg.Partitions)
@@ -356,6 +391,12 @@ func (r *Replica) flushBurst(w *worker) {
 	}
 	if w.batch != nil {
 		w.batch.Flush()
+	}
+	if r.expiryOn {
+		// Flow aging rides the burst cadence: no extra goroutine touches
+		// the data path, and expiry deletions enter the same log → commit →
+		// release machinery as packet writes.
+		r.maybeExpire()
 	}
 	if r.buf != nil {
 		r.maybeRelease()
@@ -855,6 +896,9 @@ func (r *Replica) resendLoop() {
 			if r.sim.Crashed() {
 				return // replaced after a crash; never Stop()ed
 			}
+			if r.expiryOn {
+				r.maybeExpire() // idle chains still age flows out
+			}
 			commit := r.commitSnapshot(mb)
 			vec := r.head.Vector()
 			var sum uint64
@@ -889,6 +933,94 @@ func (r *Replica) resendLoop() {
 				msg := &Message{Gen: r.gen.Load(), Logs: logs}
 				r.emitPropagating(msg, nil)
 			}
+		}
+	}
+}
+
+// expiryNow reads the expiry clock (Config.ExpiryClock or wall time).
+func (r *Replica) expiryNow() int64 {
+	if r.cfg.ExpiryClock != nil {
+		return r.cfg.ExpiryClock()
+	}
+	return time.Now().UnixNano()
+}
+
+// maybeExpire runs one throttled expiry scan at the head. Callers are the
+// burst boundary and the resend tick; the CAS keeps concurrent workers from
+// duplicating the scan (same pattern as commitStale).
+func (r *Replica) maybeExpire() {
+	now := r.expiryNow()
+	last := r.lastExpiry.Load()
+	if now-last < int64(r.cfg.ExpiryEvery) {
+		return
+	}
+	if !r.lastExpiry.CompareAndSwap(last, now) {
+		return
+	}
+	r.expireOnce(now)
+}
+
+// expireOnce turns up to ExpiryBatch due keys into one replicated deletion
+// transaction and emits its log on a propagating carrier, so expiry flows
+// through the normal log → commit → release machinery and follower stores
+// converge to the head's. DeleteExpired re-validates each key under the
+// transaction: a flow refreshed between collection and commit survives.
+// Returns the number of deletions installed.
+func (r *Replica) expireOnce(now int64) int {
+	r.expMu.Lock()
+	defer r.expMu.Unlock()
+	st := r.head.Store()
+	keys := st.CollectExpired(now, r.cfg.ExpiryBatch, r.expKeys[:0])
+	r.expKeys = keys[:0]
+	if len(keys) == 0 {
+		return 0
+	}
+	deleted := 0
+	log, err := r.head.Transaction(func(tx state.Txn) error {
+		deleted = 0 // reset on wound-wait/OCC re-execution
+		et, _ := tx.(state.ExpiryTxn)
+		for _, k := range keys {
+			if et != nil {
+				ok, err := et.DeleteExpired(k, now)
+				if err != nil {
+					return err
+				}
+				if ok {
+					deleted++
+				}
+			} else {
+				if err := tx.Delete(k); err != nil {
+					return err
+				}
+				deleted++
+			}
+		}
+		return nil
+	})
+	if err != nil || log.Noop() {
+		return 0
+	}
+	msg := &Message{Gen: r.gen.Load(), Logs: []Log{log}}
+	r.emitPropagating(msg, nil)
+	return deleted
+}
+
+// ExpireNow synchronously drains every due key at this replica's head,
+// looping until the TTL wheels report nothing further. Tests and the chaos
+// harness use it (via Chain.TriggerExpiry) to force deterministic expiry
+// after advancing a manual expiry clock; production aging runs through
+// maybeExpire on the burst/resend cadence instead. Returns deletions
+// installed.
+func (r *Replica) ExpireNow() int {
+	if r.head == nil || !r.expiryOn {
+		return 0
+	}
+	total := 0
+	for {
+		n := r.expireOnce(r.expiryNow())
+		total += n
+		if n == 0 {
+			return total
 		}
 	}
 }

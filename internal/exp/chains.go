@@ -53,6 +53,17 @@ func SingleGenKeys(stateSize, keys int) MBFactory {
 	}
 }
 
+// SingleGenPerFlow returns a one-middlebox Gen chain keyed by five-tuple:
+// every flow owns its state variable, so scaled multi-worker workloads
+// spread transactions across all state partitions instead of serializing on
+// the handful SingleGen's 16 fixed keys hash to. Per-flow Gen state also
+// ages out under Params.FlowTTL.
+func SingleGenPerFlow(stateSize int) MBFactory {
+	return func(int) []core.Middlebox {
+		return []core.Middlebox{mbox.NewGenFlows(stateSize)}
+	}
+}
+
 // GenChain returns Ch-Gen: Gen1 → Gen2.
 func GenChain(stateSize int) MBFactory {
 	return func(int) []core.Middlebox {

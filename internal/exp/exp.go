@@ -77,6 +77,11 @@ type Params struct {
 	// work-stealing scheduler (the pre-stealing layout); the skewed
 	// benchmark uses it as its baseline.
 	NoSteal bool
+	// FlowTTL, when > 0, ages idle per-flow state out of FTC stores: any
+	// middlebox implementing core.FlowTTLer has its flow entries deleted
+	// (through the normal replication path) after this much idle time.
+	// Zero keeps aging off. FTC-only; the NF/FTMB harnesses ignore it.
+	FlowTTL time.Duration
 }
 
 // WithDefaults fills zero fields.
@@ -131,6 +136,7 @@ type buildOpts struct {
 	burst      int
 	skew       float64
 	noSteal    bool
+	flowTTL    time.Duration
 	fabricCfg  netsim.Config
 }
 
@@ -146,6 +152,7 @@ func BuildSUT(kind Kind, factory MBFactory, p Params, workers int) (*SUT, error)
 		burst:      p.Burst,
 		skew:       p.Skew,
 		noSteal:    p.NoSteal,
+		flowTTL:    p.FlowTTL,
 	})
 }
 
@@ -171,7 +178,7 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 		// release latency from being bounded by the idle timer.
 		cfg := core.Config{F: o.f, Workers: o.workers, QueueCap: 4096,
 			PropagateEvery: 200 * time.Microsecond, Burst: o.burst,
-			NoSteal: o.noSteal}
+			NoSteal: o.noSteal, FlowTTL: o.flowTTL}
 		c := core.NewChain(cfg, fabric, "ftc", mbs, sink.ID())
 		c.Start()
 		s.closers = append(s.closers, c.Stop)

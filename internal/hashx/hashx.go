@@ -53,6 +53,19 @@ func Sum64(b []byte) uint64 {
 	return h
 }
 
+// Sum64String returns the 64-bit FNV-1a hash of s, equal to
+// fnv.New64a().Write([]byte(s)).Sum64() without the allocations. The state
+// tables use it for slot probing (h1 = group index, h2 = control byte) while
+// PartitionOf stays on Sum32String — the partition mapping is pinned by the
+// replication protocol and must not change.
+func Sum64String(s string) uint64 {
+	h := Offset64
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * Prime64
+	}
+	return h
+}
+
 // Mix64 folds b into a running 64-bit FNV-1a state. Start from Offset64.
 // Use this to hash several fields without assembling them into one buffer.
 func Mix64(h uint64, b []byte) uint64 {

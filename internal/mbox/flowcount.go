@@ -28,6 +28,13 @@ func NewFlowCounter(prefix string) *FlowCounter {
 // Name implements core.Middlebox.
 func (c *FlowCounter) Name() string { return "FlowCounter(" + c.prefix + ")" }
 
+// Prefix returns the key prefix all of this middlebox's flow keys share.
+func (c *FlowCounter) Prefix() string { return c.prefix }
+
+// FlowTTLPrefixes implements core.FlowTTLer: every FlowCounter key is
+// per-flow, so the whole prefix ages out under Config.FlowTTL.
+func (c *FlowCounter) FlowTTLPrefixes() []string { return []string{c.prefix} }
+
 // Key returns the state-store key this middlebox uses for a flow; external
 // auditors use it to look up a packet's counter in replica snapshots.
 func (c *FlowCounter) Key(t wire.FiveTuple) string { return flowKey(c.prefix, t) }

@@ -96,7 +96,11 @@ type Gen struct {
 	stateSize int
 	keys      int
 	keyNames  []string // precomputed "gen-<i>": no per-packet formatting
+	perFlow   bool     // key by five-tuple instead of a fixed key set
 }
+
+// GenFlowPrefix names Gen's per-flow keys (NewGenFlows mode).
+const GenFlowPrefix = "genf:"
 
 // NewGen creates a Gen writing stateSize bytes per packet across keys
 // distinct state variables (keys ≤ 1 collapses to a single variable).
@@ -114,14 +118,41 @@ func NewGen(stateSize, keys int) *Gen {
 	return &Gen{name: fmt.Sprintf("Gen(state=%dB)", stateSize), stateSize: stateSize, keys: keys, keyNames: names}
 }
 
+// NewGenFlows creates a Gen that writes stateSize bytes into a per-flow key
+// derived from the packet's five-tuple instead of a fixed key set. A fixed
+// key set serializes unrelated flows on the handful of partitions those
+// keys hash to; per-flow keys spread transactions across all partitions, so
+// scaled multi-worker workloads measure scheduling instead of a state-lock
+// convoy. Per-flow keys also age out under Config.FlowTTL.
+func NewGenFlows(stateSize int) *Gen {
+	if stateSize < 1 {
+		stateSize = 1
+	}
+	return &Gen{name: fmt.Sprintf("GenFlows(state=%dB)", stateSize), stateSize: stateSize, perFlow: true}
+}
+
 // Name implements core.Middlebox.
 func (g *Gen) Name() string { return g.name }
 
+// FlowTTLPrefixes implements core.FlowTTLer: per-flow Gen state ages out;
+// the fixed-key mode shares its keys across all flows and never expires.
+func (g *Gen) FlowTTLPrefixes() []string {
+	if !g.perFlow {
+		return nil
+	}
+	return []string{GenFlowPrefix}
+}
+
 // Process writes stateSize bytes derived from the packet into one of the
-// configured keys.
+// configured keys (or the packet's flow key in per-flow mode).
 func (g *Gen) Process(pkt *wire.Packet, tx state.Txn) (core.Verdict, error) {
 	seed := wire.RSSHash(pkt.Buf)
-	key := g.keyNames[seed%uint64(g.keys)]
+	var key string
+	if g.perFlow {
+		key = flowKey(GenFlowPrefix, pkt.FiveTuple())
+	} else {
+		key = g.keyNames[seed%uint64(g.keys)]
+	}
 	val := make([]byte, g.stateSize)
 	// Derive deterministic contents from the packet so replicas can be
 	// compared byte-for-byte in tests.

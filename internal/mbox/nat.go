@@ -57,6 +57,11 @@ func NewSimpleNAT(extIP wire.IPv4Addr, portBase, portCount uint16) *SimpleNAT {
 // Name implements core.Middlebox.
 func (n *SimpleNAT) Name() string { return "SimpleNAT" }
 
+// FlowTTLPrefixes implements core.FlowTTLer: per-flow bindings age out under
+// Config.FlowTTL. The "nat:f:" prefix is disjoint from the shared
+// "nat:nextport" allocator, which must never expire.
+func (n *SimpleNAT) FlowTTLPrefixes() []string { return []string{"nat:f:"} }
+
 // Process rewrites the packet's source to the flow's external binding,
 // allocating one on the first packet. Connection persistence — every packet
 // of a flow gets the same binding — is guaranteed by transaction isolation
@@ -66,7 +71,7 @@ func (n *SimpleNAT) Process(pkt *wire.Packet, tx state.Txn) (core.Verdict, error
 	if t.Proto != wire.ProtoUDP && t.Proto != wire.ProtoTCP {
 		return core.Forward, nil
 	}
-	key := flowKey("nat:", t)
+	key := flowKey("nat:f:", t)
 	v, ok, err := tx.Get(key)
 	if err != nil {
 		return core.Drop, err
@@ -120,6 +125,15 @@ func NewMazuNAT(extIP wire.IPv4Addr, portBase, portCount uint16, internalNet wir
 
 // Name implements core.Middlebox.
 func (n *MazuNAT) Name() string { return "MazuNAT" }
+
+// FlowTTLPrefixes implements core.FlowTTLer: forward bindings ("mnat:f:")
+// and reverse port mappings ("mnat:r:") age out under Config.FlowTTL, while
+// the shared "mnat:nextport" allocator and "mnat:flows" counter never do.
+// Note the asymmetry inherited from the traffic pattern: outbound packets
+// refresh only the forward binding, so a flow with outbound-only traffic
+// can lose its reverse mapping one TTL after setup — matching the classic
+// NAT behaviour of expiring idle inbound translations first.
+func (n *MazuNAT) FlowTTLPrefixes() []string { return []string{"mnat:f:", "mnat:r:"} }
 
 func (n *MazuNAT) isInternal(a wire.IPv4Addr) bool {
 	return maskMatch(a, n.internalNet, n.internalBits)

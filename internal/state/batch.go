@@ -138,12 +138,22 @@ func (b *lockBatch) clearWound() {
 // batchView is one transaction's state inside a lockBatch: its own touched
 // set, read-your-writes buffer, and write log, while lock ownership lives
 // with the batch holder. Reused across Execs by the owning worker.
+//
+// Two pieces of per-packet garbage are recycled here. Reads return slices
+// of a per-view arena (valid until the next operation on the transaction —
+// middleboxes consume values before their next state call), so the steady
+// Get path allocates nothing. Update structs come from a slab whose entries
+// are reused across Execs; only the value buffers are freshly allocated,
+// because committed updates are retained by the replication log.
 type batchView struct {
 	batch    *lockBatch
 	touched  []uint16
 	touchArr [4]uint16
 	writes   map[string]*Update // latest write per key (lazy)
 	writeLog []*Update          // program order, deduplicated by key
+	upool    []Update           // Update slab; writeLog points into it
+	unext    int                // next free slab entry
+	rbuf     []byte             // read arena: holds the last Get's bytes
 }
 
 func (v *batchView) reset() {
@@ -152,6 +162,38 @@ func (v *batchView) reset() {
 		clear(v.writes)
 		v.writeLog = v.writeLog[:0]
 	}
+	if v.unext == len(v.upool) {
+		// The slab filled up (or is new): grow it now, between transactions,
+		// when no writeLog pointers into the old backing array survive.
+		n := 2 * len(v.upool)
+		if n < 8 {
+			n = 8
+		}
+		v.upool = make([]Update, n)
+	}
+	v.unext = 0
+}
+
+// bufferWrite records a write of key (val == nil deletes), deduplicating by
+// key and drawing Update structs from the slab.
+func (v *batchView) bufferWrite(key string, val []byte, p uint16) {
+	if w, ok := v.writes[key]; ok {
+		w.Value = val
+		return
+	}
+	var u *Update
+	if v.unext < len(v.upool) {
+		u = &v.upool[v.unext]
+		v.unext++
+	} else {
+		u = new(Update) // slab exhausted mid-Exec; reset resizes for the next
+	}
+	u.Key, u.Value, u.Partition = key, val, p
+	if v.writes == nil {
+		v.writes = make(map[string]*Update, 4)
+	}
+	v.writes[key] = u
+	v.writeLog = append(v.writeLog, u)
 }
 
 // lockPartition ensures the batch holder owns partition p and records it in
@@ -181,7 +223,10 @@ func (v *batchView) lockPartition(p uint16) error {
 	return nil
 }
 
-// Get reads a key within the batched transaction.
+// Get reads a key within the batched transaction. The returned slice is a
+// view into the transaction's read arena: it stays valid only until the
+// next operation on this transaction. Callers needing the bytes longer must
+// copy (ordinary middlebox code decodes the value immediately).
 func (v *batchView) Get(key string) ([]byte, bool, error) {
 	p := v.batch.store.PartitionOf(key)
 	if err := v.lockPartition(p); err != nil {
@@ -191,20 +236,26 @@ func (v *batchView) Get(key string) ([]byte, bool, error) {
 		if w.Value == nil {
 			return nil, false, nil
 		}
-		out := make([]byte, len(w.Value))
-		copy(out, w.Value)
-		return out, true, nil
+		return v.arena(w.Value), true, nil
 	}
 	part := &v.batch.store.parts[p]
 	part.mu.Lock()
-	val, ok := part.data[key]
-	part.mu.Unlock()
-	if !ok {
-		return nil, false, nil
+	val, ok := part.tab.getRefresh(key, v.batch.store.exp.nowTick())
+	var out []byte
+	if ok {
+		out = v.arena(val) // copy out while the mutex protects the buffer
 	}
-	out := make([]byte, len(val))
-	copy(out, val)
-	return out, true, nil
+	part.mu.Unlock()
+	return out, ok, nil
+}
+
+// arena copies val into the view's read buffer and returns the copy.
+func (v *batchView) arena(val []byte) []byte {
+	if v.rbuf == nil {
+		v.rbuf = make([]byte, 0, 128)
+	}
+	v.rbuf = append(v.rbuf[:0], val...)
+	return v.rbuf
 }
 
 // Put buffers a write, visible at commit.
@@ -213,18 +264,11 @@ func (v *batchView) Put(key string, val []byte) error {
 	if err := v.lockPartition(p); err != nil {
 		return err
 	}
+	// The value buffer must be fresh — the committed update outlives this
+	// transaction inside the replication log.
 	buf := make([]byte, len(val))
 	copy(buf, val)
-	if w, ok := v.writes[key]; ok {
-		w.Value = buf
-		return nil
-	}
-	u := &Update{Key: key, Value: buf, Partition: p}
-	if v.writes == nil {
-		v.writes = make(map[string]*Update, 4)
-	}
-	v.writes[key] = u
-	v.writeLog = append(v.writeLog, u)
+	v.bufferWrite(key, buf, p)
 	return nil
 }
 
@@ -234,17 +278,32 @@ func (v *batchView) Delete(key string) error {
 	if err := v.lockPartition(p); err != nil {
 		return err
 	}
-	if w, ok := v.writes[key]; ok {
-		w.Value = nil
-		return nil
-	}
-	u := &Update{Key: key, Value: nil, Partition: p}
-	if v.writes == nil {
-		v.writes = make(map[string]*Update, 4)
-	}
-	v.writes[key] = u
-	v.writeLog = append(v.writeLog, u)
+	v.bufferWrite(key, nil, p)
 	return nil
+}
+
+// DeleteExpired implements ExpiryTxn for batched transactions (see
+// lockTxn.DeleteExpired).
+func (v *batchView) DeleteExpired(key string, now int64) (bool, error) {
+	cfg := v.batch.store.exp
+	if cfg == nil {
+		return false, nil
+	}
+	p := v.batch.store.PartitionOf(key)
+	if err := v.lockPartition(p); err != nil {
+		return false, err
+	}
+	if _, ok := v.writes[key]; ok {
+		return false, nil // a buffered write in this txn supersedes expiry
+	}
+	part := &v.batch.store.parts[p]
+	part.mu.Lock()
+	due := part.tab.expiredAt(key, cfg.ticksAt(now))
+	part.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	return true, v.Delete(key)
 }
 
 // commit applies the buffered writes while the holder's locks are held and
@@ -252,15 +311,16 @@ func (v *batchView) Delete(key string) error {
 // that is the batch's whole point; Flush returns them at the burst boundary.
 func (v *batchView) commit(onCommit func(Result)) Result {
 	res := Result{ReadOnly: len(v.writeLog) == 0}
+	now := v.batch.store.exp.nowTick()
 	for _, u := range v.writeLog {
 		part := &v.batch.store.parts[u.Partition]
 		part.mu.Lock()
 		if u.Value == nil {
-			delete(part.data, u.Key)
+			part.tab.del(u.Key)
 		} else {
-			// u.Value was copied at Put and is immutable from here on: the
-			// store entry and the piggybacked update share it.
-			part.data[u.Key] = u.Value
+			// u.Value stays exclusively the piggybacked update's; the table
+			// keeps its own copy in a recycled slot buffer.
+			part.tab.put(u.Key, u.Value, now)
 		}
 		part.mu.Unlock()
 		res.Updates = append(res.Updates, *u)
@@ -382,10 +442,9 @@ func (t *occTxn) commitBatch(b *occBatch, onCommit func(Result)) (Result, error)
 	// Validate: every read key must still be at the observed version.
 	for key, ver := range t.reads {
 		p := &t.store.parts[t.store.PartitionOf(key)]
-		e, ok := p.data[key]
 		cur := uint64(0)
-		if ok {
-			cur = e.version
+		if si := p.tab.getSlot(key); si >= 0 {
+			cur = p.tab.slots[si].ver
 		}
 		if cur != ver {
 			// Locks stay with the batch: the retry re-reads under the same
@@ -394,13 +453,14 @@ func (t *occTxn) commitBatch(b *occBatch, onCommit func(Result)) (Result, error)
 		}
 	}
 	res := Result{ReadOnly: len(t.writeLog) == 0, Touched: parts}
+	now := t.store.exp.nowTick()
 	for _, u := range t.writeLog {
 		p := &t.store.parts[u.Partition]
 		if u.Value == nil {
-			delete(p.data, u.Key)
+			p.tab.del(u.Key)
 		} else {
-			e := p.data[u.Key]
-			p.data[u.Key] = occEntry{val: u.Value, version: e.version + 1}
+			si := p.tab.put(u.Key, u.Value, now)
+			p.tab.slots[si].ver++
 		}
 		p.version++
 		res.Updates = append(res.Updates, *u)
@@ -412,9 +472,10 @@ func (t *occTxn) commitBatch(b *occBatch, onCommit func(Result)) (Result, error)
 }
 
 // compile-time checks: both engines provide batches, and the views satisfy
-// the transaction interface.
+// the transaction interface plus the ExpiryTxn extension.
 var (
-	_ Batch = (*lockBatch)(nil)
-	_ Batch = (*occBatch)(nil)
-	_ Txn   = (*batchView)(nil)
+	_ Batch     = (*lockBatch)(nil)
+	_ Batch     = (*occBatch)(nil)
+	_ Txn       = (*batchView)(nil)
+	_ ExpiryTxn = (*batchView)(nil)
 )

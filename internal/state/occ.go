@@ -4,8 +4,6 @@ import (
 	"errors"
 	"sort"
 	"sync"
-
-	"github.com/ftsfc/ftc/internal/hashx"
 )
 
 // OCCStore is an optimistic-concurrency alternative to the locking Store:
@@ -23,22 +21,23 @@ import (
 // OCC shines on read-heavy, low-contention workloads (no lock traffic on
 // reads); under write contention it wastes re-executions where wound-wait
 // 2PL would serialize. The A5 ablation quantifies the trade.
+//
+// Entries live in the same swiss-style partition tables as the locking
+// engine (table.go); the per-key OCC version occupies the slot's ver field,
+// and a deletion resets it to zero — exactly the "absent" version the
+// validation step compares against, preserving the original ABA semantics.
 type OCCStore struct {
 	parts []occPartition
+	exp   *expiryCfg
 }
 
 // ErrConflict aborts an optimistic transaction whose read set changed
 // before commit; Exec retries automatically.
 var ErrConflict = errors.New("state: optimistic conflict")
 
-type occEntry struct {
-	val     []byte
-	version uint64
-}
-
 type occPartition struct {
-	mu   sync.Mutex
-	data map[string]occEntry
+	mu  sync.Mutex
+	tab table
 	// version counts committed writes to the partition, letting read-only
 	// validation skip per-key checks when nothing changed.
 	version uint64
@@ -52,7 +51,7 @@ func NewOCC(n int) *OCCStore {
 	}
 	s := &OCCStore{parts: make([]occPartition, n)}
 	for i := range s.parts {
-		s.parts[i].data = make(map[string]occEntry)
+		s.parts[i].tab.init(minTableCap)
 	}
 	return s
 }
@@ -62,21 +61,62 @@ func (s *OCCStore) NumPartitions() int { return len(s.parts) }
 
 // PartitionOf maps a key to its partition (same mapping as Store).
 func (s *OCCStore) PartitionOf(key string) uint16 {
-	return uint16(hashx.Sum32String(key) % uint32(len(s.parts)))
+	return partitionOf(key, len(s.parts))
+}
+
+// ConfigureExpiry arms flow-state aging (see Expiry). Call once before the
+// store sees traffic.
+func (s *OCCStore) ConfigureExpiry(e Expiry) {
+	cfg := resolveExpiry(e)
+	s.exp = cfg
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		p.tab.exp = cfg
+		p.mu.Unlock()
+	}
+}
+
+// CollectExpired implements Backend (see the interface doc).
+func (s *OCCStore) CollectExpired(now int64, limit int, buf []string) []string {
+	if s.exp == nil {
+		return buf
+	}
+	tick := s.exp.ticksAt(now)
+	for i := range s.parts {
+		if limit >= 0 && len(buf) >= limit {
+			break
+		}
+		p := &s.parts[i]
+		p.mu.Lock()
+		buf = p.tab.collectExpired(tick, limit, buf)
+		p.mu.Unlock()
+	}
+	return buf
 }
 
 // Get reads a key outside any transaction.
 func (s *OCCStore) Get(key string) ([]byte, bool) {
-	p := &s.parts[s.PartitionOf(key)]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	e, ok := p.data[key]
+	out, ok := s.GetAppend(key, nil)
 	if !ok {
 		return nil, false
 	}
-	out := make([]byte, len(e.val))
-	copy(out, e.val)
+	if out == nil {
+		out = []byte{}
+	}
 	return out, true
+}
+
+// GetAppend implements Backend: Get with caller-provided storage.
+func (s *OCCStore) GetAppend(key string, buf []byte) ([]byte, bool) {
+	p := &s.parts[s.PartitionOf(key)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.tab.get(key)
+	if !ok {
+		return buf, false
+	}
+	return append(buf, v...), true
 }
 
 // Len reports the total number of keys.
@@ -85,48 +125,34 @@ func (s *OCCStore) Len() int {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		n += len(p.data)
+		n += p.tab.live
 		p.mu.Unlock()
 	}
 	return n
 }
 
 // Apply installs replicated updates directly (follower path). Values are
-// copied; the caller keeps ownership of its buffers.
+// copied into store-owned buffers; the caller keeps ownership of its own.
 func (s *OCCStore) Apply(updates []Update) {
+	now := s.exp.nowTick()
 	for _, u := range updates {
 		p := &s.parts[int(u.Partition)%len(s.parts)]
 		p.mu.Lock()
 		if u.Value == nil {
-			delete(p.data, u.Key)
+			p.tab.del(u.Key)
 		} else {
-			v := make([]byte, len(u.Value))
-			copy(v, u.Value)
-			e := p.data[u.Key]
-			p.data[u.Key] = occEntry{val: v, version: e.version + 1}
+			si := p.tab.put(u.Key, u.Value, now)
+			p.tab.slots[si].ver++
 		}
 		p.version++
 		p.mu.Unlock()
 	}
 }
 
-// ApplyOwned is Apply with value-ownership transfer (see Store.ApplyOwned):
-// the store retains u.Value without copying. Callers must not modify the
-// value buffers afterwards.
-func (s *OCCStore) ApplyOwned(updates []Update) {
-	for _, u := range updates {
-		p := &s.parts[int(u.Partition)%len(s.parts)]
-		p.mu.Lock()
-		if u.Value == nil {
-			delete(p.data, u.Key)
-		} else {
-			e := p.data[u.Key]
-			p.data[u.Key] = occEntry{val: u.Value, version: e.version + 1}
-		}
-		p.version++
-		p.mu.Unlock()
-	}
-}
+// ApplyOwned is Apply under the historical ownership-transfer contract (see
+// Store.ApplyOwned): the table copies values into recycled slot buffers
+// either way, so the two are now identical.
+func (s *OCCStore) ApplyOwned(updates []Update) { s.Apply(updates) }
 
 // Snapshot captures the store contents for recovery transfer.
 func (s *OCCStore) Snapshot() []Update {
@@ -134,23 +160,24 @@ func (s *OCCStore) Snapshot() []Update {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		for k, e := range p.data {
-			val := make([]byte, len(e.val))
-			copy(val, e.val)
+		p.tab.iterate(func(k string, v []byte) {
+			val := make([]byte, len(v))
+			copy(val, v)
 			out = append(out, Update{Key: k, Value: val, Partition: uint16(i)})
-		}
+		})
 		p.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
-// Restore replaces the store contents.
+// Restore replaces the store contents. TTL deadlines restart for restored
+// keys (see Store.Restore).
 func (s *OCCStore) Restore(updates []Update) {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		p.data = make(map[string]occEntry)
+		p.tab.init(minTableCap)
 		p.mu.Unlock()
 	}
 	s.Apply(updates)
@@ -207,17 +234,25 @@ func (t *occTxn) Get(key string) ([]byte, bool, error) {
 	if lock {
 		p.mu.Lock()
 	}
-	e, ok := p.data[key]
+	si := p.tab.getSlot(key)
+	var out []byte
+	var ver uint64
+	if si >= 0 {
+		s := &p.tab.slots[si]
+		ver = s.ver
+		out = make([]byte, len(s.val))
+		copy(out, s.val) // copy out while the mutex protects the buffer
+		if nt := t.store.exp.nowTick(); nt > 0 {
+			p.tab.refresh(si, nt)
+		}
+	}
 	if lock {
 		p.mu.Unlock()
 	}
-	if !ok {
-		t.reads[key] = 0
+	t.reads[key] = ver
+	if si < 0 {
 		return nil, false, nil
 	}
-	t.reads[key] = e.version
-	out := make([]byte, len(e.val))
-	copy(out, e.val)
 	return out, true, nil
 }
 
@@ -251,6 +286,48 @@ func (t *occTxn) Delete(key string) error {
 	return nil
 }
 
+// DeleteExpired implements ExpiryTxn: it buffers a deletion only if key is
+// still present with an elapsed TTL at now. The versioned read makes a
+// racing refresh-and-commit invalidate this transaction at validation.
+func (t *occTxn) DeleteExpired(key string, now int64) (bool, error) {
+	cfg := t.store.exp
+	if cfg == nil {
+		return false, nil
+	}
+	if _, ok := t.writes[key]; ok {
+		return false, nil // a buffered write in this txn supersedes expiry
+	}
+	pi := t.store.PartitionOf(key)
+	t.touched[pi] = struct{}{}
+	p := &t.store.parts[pi]
+	lock := true
+	if t.batch != nil {
+		if t.batch.holds(pi) {
+			lock = false
+		} else if len(t.batch.held) > 0 {
+			t.batch.Flush()
+		}
+	}
+	if lock {
+		p.mu.Lock()
+	}
+	due := false
+	var ver uint64
+	if si := p.tab.getSlot(key); si >= 0 {
+		ver = p.tab.slots[si].ver
+		s := &p.tab.slots[si]
+		due = s.exp != 0 && s.exp <= cfg.ticksAt(now)
+	}
+	if lock {
+		p.mu.Unlock()
+	}
+	t.reads[key] = ver
+	if !due {
+		return false, nil
+	}
+	return true, t.Delete(key)
+}
+
 // commit validates the read set and installs the writes while holding the
 // touched partitions' mutexes (ascending order — no deadlock), running the
 // hook at the serialization point.
@@ -271,10 +348,9 @@ func (t *occTxn) commit(onCommit func(Result)) (Result, error) {
 	// Validate: every read key must still be at the observed version.
 	for key, ver := range t.reads {
 		p := &t.store.parts[t.store.PartitionOf(key)]
-		e, ok := p.data[key]
 		cur := uint64(0)
-		if ok {
-			cur = e.version
+		if si := p.tab.getSlot(key); si >= 0 {
+			cur = p.tab.slots[si].ver
 		}
 		if cur != ver {
 			unlock()
@@ -282,15 +358,16 @@ func (t *occTxn) commit(onCommit func(Result)) (Result, error) {
 		}
 	}
 	res := Result{ReadOnly: len(t.writeLog) == 0, Touched: parts}
+	now := t.store.exp.nowTick()
 	for _, u := range t.writeLog {
 		p := &t.store.parts[u.Partition]
 		if u.Value == nil {
-			delete(p.data, u.Key)
+			p.tab.del(u.Key)
 		} else {
-			// u.Value was copied at Put and is immutable from here on; the
-			// entry and the piggybacked update share it.
-			e := p.data[u.Key]
-			p.data[u.Key] = occEntry{val: u.Value, version: e.version + 1}
+			// u.Value stays exclusively the piggybacked update's; the table
+			// keeps its own copy in a recycled slot buffer.
+			si := p.tab.put(u.Key, u.Value, now)
+			p.tab.slots[si].ver++
 		}
 		p.version++
 		res.Updates = append(res.Updates, *u)
@@ -330,10 +407,13 @@ func (s *OCCStore) ExecWithHook(fn func(tx Txn) error, onCommit func(Result)) (R
 	}
 }
 
-// compile-time interface checks: both engines satisfy Backend.
+// compile-time interface checks: both engines satisfy Backend, and both
+// transaction types satisfy Txn plus the ExpiryTxn extension.
 var (
-	_ Backend = (*Store)(nil)
-	_ Backend = (*OCCStore)(nil)
-	_ Txn     = (*lockTxn)(nil)
-	_ Txn     = (*occTxn)(nil)
+	_ Backend   = (*Store)(nil)
+	_ Backend   = (*OCCStore)(nil)
+	_ Txn       = (*lockTxn)(nil)
+	_ Txn       = (*occTxn)(nil)
+	_ ExpiryTxn = (*lockTxn)(nil)
+	_ ExpiryTxn = (*occTxn)(nil)
 )

@@ -9,13 +9,24 @@
 // replica so that dependency vectors computed at the head are meaningful at
 // followers. The number of partitions should exceed the maximum number of
 // CPU cores to keep contention low (§4.2); the default is 64.
+//
+// Each partition stores its entries in an open-addressing swiss-style table
+// (see table.go) rather than a Go map, keeping lookups flat and the churn
+// path allocation-free at millions of live flow entries, and optionally ages
+// entries out through per-partition hierarchical TTL wheels (see wheel.go
+// and Expiry). Expiry never deletes state unilaterally on replicas: the
+// store only reports due keys (CollectExpired); the replication layer turns
+// them into ordinary replicated deletions so head and follower digests stay
+// equal while flows age out.
 package state
 
 import (
 	"errors"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/ftsfc/ftc/internal/hashx"
 )
@@ -50,12 +61,27 @@ type Txn interface {
 	Delete(key string) error
 }
 
+// ExpiryTxn is the optional transaction extension for TTL-driven deletion.
+// Both engines' transactions implement it. DeleteExpired buffers a deletion
+// of key only if the key is still present with a TTL deadline at or before
+// now (nanoseconds on the store's expiry clock); a concurrent refresh or
+// earlier deletion makes it a no-op. The expiry driver re-validates through
+// this instead of issuing blind Deletes so a flow that saw traffic between
+// collection and commit survives.
+type ExpiryTxn interface {
+	DeleteExpired(key string, now int64) (bool, error)
+}
+
 // Backend is the store interface the FTC replication roles run against.
 // Both the locking Store and the optimistic OCCStore implement it.
 type Backend interface {
 	NumPartitions() int
 	PartitionOf(key string) uint16
 	Get(key string) ([]byte, bool)
+	// GetAppend is Get without the per-call allocation: the value is
+	// appended to buf (which may be nil) and the result returned. The bool
+	// reports presence.
+	GetAppend(key string, buf []byte) ([]byte, bool)
 	Len() int
 	Apply(updates []Update)
 	ApplyOwned(updates []Update)
@@ -66,7 +92,94 @@ type Backend interface {
 	// NewBatch returns a single-goroutine batch context that amortizes
 	// transaction begin/commit across a burst of Execs (see Batch).
 	NewBatch() Batch
+	// ConfigureExpiry arms flow-state aging (see Expiry). Call once, before
+	// the store sees traffic; a zero-TTL config disables expiry.
+	ConfigureExpiry(e Expiry)
+	// CollectExpired appends to buf up to limit keys whose TTL elapsed at
+	// now (nanoseconds on the expiry clock; limit < 0 means no limit) and
+	// returns the result. It never deletes: the caller must turn the keys
+	// into replicated deletions (see ExpiryTxn.DeleteExpired). The returned
+	// key strings are store-owned and stay valid until the keys are deleted.
+	CollectExpired(now int64, limit int, buf []string) []string
 }
+
+// Expiry configures flow-state aging for a store. Aging is off by default
+// and stays off unless TTL > 0 and at least one prefix is given.
+//
+// Keys matching any of Prefixes get a deadline of now+TTL when written
+// (created or refreshed) and when read inside a transaction, so active
+// flows never age out. Deadlines are tracked at Tick granularity in
+// per-partition hierarchical timing wheels; CollectExpired reports due keys
+// so the replication layer can delete them as ordinary replicated writes.
+type Expiry struct {
+	// TTL is the idle lifetime of a matching entry.
+	TTL time.Duration
+	// Prefixes selects which keys age: a key expires iff it starts with one
+	// of these. Middlebox counters and other shared keys simply use
+	// non-matching names.
+	Prefixes []string
+	// Clock returns the current time in nanoseconds. Nil means wall clock;
+	// tests and the chaos harness inject a manual clock.
+	Clock func() int64
+	// Tick is the wheel granularity (default 50ms). Deadlines are rounded
+	// to ticks, so TTL should be at least a few ticks.
+	Tick time.Duration
+}
+
+// expiryCfg is the resolved, shared form of Expiry. One instance per store;
+// partition tables reference it.
+type expiryCfg struct {
+	ttlTicks int64
+	tick     int64 // nanoseconds per wheel tick
+	clock    func() int64
+	prefixes []string
+}
+
+// resolveExpiry validates and resolves e, returning nil if aging is off.
+func resolveExpiry(e Expiry) *expiryCfg {
+	if e.TTL <= 0 || len(e.Prefixes) == 0 {
+		return nil
+	}
+	tick := int64(e.Tick)
+	if tick <= 0 {
+		tick = defaultTick
+	}
+	ttl := (int64(e.TTL) + tick - 1) / tick
+	if ttl < minTTLTicks {
+		ttl = minTTLTicks
+	}
+	clock := e.Clock
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return &expiryCfg{
+		ttlTicks: ttl,
+		tick:     tick,
+		clock:    clock,
+		prefixes: append([]string(nil), e.Prefixes...),
+	}
+}
+
+func (c *expiryCfg) matches(key string) bool {
+	for _, p := range c.prefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// nowTick returns the current expiry clock reading in wheel ticks, or 0
+// when c is nil (expiry off) — the value table.put treats as "don't arm".
+func (c *expiryCfg) nowTick() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.clock() / c.tick
+}
+
+// ticksAt converts an absolute clock reading (nanoseconds) to wheel ticks.
+func (c *expiryCfg) ticksAt(now int64) int64 { return now / c.tick }
 
 // Update is one state mutation produced by a committed transaction: the
 // unit that gets piggybacked and replicated. A nil Value means deletion.
@@ -80,13 +193,14 @@ type Update struct {
 type partition struct {
 	lock plock // transaction-level wound-wait lock
 	mu   sync.Mutex
-	data map[string][]byte
+	tab  table
 }
 
 // Store is a partitioned key-value store. A store instance holds the state
 // of one middlebox on one replica. The zero value is not usable; call New.
 type Store struct {
 	parts []partition
+	exp   *expiryCfg
 	tsCtr atomic.Uint64
 }
 
@@ -97,7 +211,7 @@ func New(n int) *Store {
 	}
 	s := &Store{parts: make([]partition, n)}
 	for i := range s.parts {
-		s.parts[i].data = make(map[string][]byte)
+		s.parts[i].tab.init(minTableCap)
 		s.parts[i].lock.init()
 	}
 	return s
@@ -110,23 +224,71 @@ func (s *Store) NumPartitions() int { return len(s.parts) }
 // middlebox use the same mapping; hashx is bit-identical to the hash/fnv
 // implementation earlier versions used, so the mapping is stable.
 func (s *Store) PartitionOf(key string) uint16 {
-	return uint16(hashx.Sum32String(key) % uint32(len(s.parts)))
+	return partitionOf(key, len(s.parts))
+}
+
+// partitionOf is the shared key→partition mapping: 32-bit FNV-1a modulo the
+// partition count. Pinned by golden tests — the replication protocol
+// requires every replica to agree on it.
+func partitionOf(key string, n int) uint16 {
+	return uint16(hashx.Sum32String(key) % uint32(n))
+}
+
+// ConfigureExpiry arms flow-state aging (see Expiry). Call once before the
+// store sees traffic.
+func (s *Store) ConfigureExpiry(e Expiry) {
+	cfg := resolveExpiry(e)
+	s.exp = cfg
+	for i := range s.parts {
+		p := &s.parts[i]
+		p.mu.Lock()
+		p.tab.exp = cfg
+		p.mu.Unlock()
+	}
+}
+
+// CollectExpired implements Backend (see the interface doc).
+func (s *Store) CollectExpired(now int64, limit int, buf []string) []string {
+	if s.exp == nil {
+		return buf
+	}
+	tick := s.exp.ticksAt(now)
+	for i := range s.parts {
+		if limit >= 0 && len(buf) >= limit {
+			break
+		}
+		p := &s.parts[i]
+		p.mu.Lock()
+		buf = p.tab.collectExpired(tick, limit, buf)
+		p.mu.Unlock()
+	}
+	return buf
 }
 
 // Get reads a key outside any transaction. It is linearizable per key but
 // unordered with respect to running transactions; intended for tests,
 // recovery, and read-only inspection.
 func (s *Store) Get(key string) ([]byte, bool) {
-	p := &s.parts[s.PartitionOf(key)]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	v, ok := p.data[key]
+	out, ok := s.GetAppend(key, nil)
 	if !ok {
 		return nil, false
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
+	if out == nil {
+		out = []byte{}
+	}
 	return out, true
+}
+
+// GetAppend implements Backend: Get with caller-provided storage.
+func (s *Store) GetAppend(key string, buf []byte) ([]byte, bool) {
+	p := &s.parts[s.PartitionOf(key)]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.tab.get(key)
+	if !ok {
+		return buf, false
+	}
+	return append(buf, v...), true
 }
 
 // Len reports the total number of keys.
@@ -135,7 +297,7 @@ func (s *Store) Len() int {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		n += len(p.data)
+		n += p.tab.live
 		p.mu.Unlock()
 	}
 	return n
@@ -143,40 +305,28 @@ func (s *Store) Len() int {
 
 // Apply installs replicated updates directly, bypassing the transaction
 // layer. Followers call this once the dependency-vector logic has
-// established that the update is in order. Values are copied; the caller
-// keeps ownership of its buffers.
+// established that the update is in order. Values are copied into
+// store-owned buffers; the caller keeps ownership of its own.
 func (s *Store) Apply(updates []Update) {
+	now := s.exp.nowTick()
 	for _, u := range updates {
 		p := &s.parts[int(u.Partition)%len(s.parts)]
 		p.mu.Lock()
 		if u.Value == nil {
-			delete(p.data, u.Key)
+			p.tab.del(u.Key)
 		} else {
-			v := make([]byte, len(u.Value))
-			copy(v, u.Value)
-			p.data[u.Key] = v
+			p.tab.put(u.Key, u.Value, now)
 		}
 		p.mu.Unlock()
 	}
 }
 
-// ApplyOwned is Apply for callers that transfer ownership of the update
-// values: the store retains u.Value directly instead of copying it. The
-// piggyback decoder already allocates a private copy of every value, so the
-// follower apply path uses this to avoid copying each replicated update
-// twice. Callers must not modify the value buffers after the call.
-func (s *Store) ApplyOwned(updates []Update) {
-	for _, u := range updates {
-		p := &s.parts[int(u.Partition)%len(s.parts)]
-		p.mu.Lock()
-		if u.Value == nil {
-			delete(p.data, u.Key)
-		} else {
-			p.data[u.Key] = u.Value
-		}
-		p.mu.Unlock()
-	}
-}
+// ApplyOwned is Apply for callers that give up ownership of the update
+// values. The swiss-table store copies values into slot-owned recycled
+// buffers either way (an in-place overwrite must never mutate a buffer a
+// retained log still references), so this is now identical to Apply; the
+// method remains so the follower apply path keeps its historical contract.
+func (s *Store) ApplyOwned(updates []Update) { s.Apply(updates) }
 
 // Snapshot captures the full contents of the store as a list of updates,
 // used to transfer state during failure recovery. The snapshot of each
@@ -188,23 +338,27 @@ func (s *Store) Snapshot() []Update {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		for k, v := range p.data {
+		p.tab.iterate(func(k string, v []byte) {
 			val := make([]byte, len(v))
 			copy(val, v)
 			out = append(out, Update{Key: k, Value: val, Partition: uint16(i)})
-		}
+		})
 		p.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
-// Restore replaces the store contents with the given snapshot.
+// Restore replaces the store contents with the given snapshot. Restored
+// keys that match a TTL prefix are re-armed with a fresh deadline: the
+// wheel state itself is not part of the replicated state, so a recovered
+// replica grants restored flows a full TTL (documented failover slack —
+// at most one extra TTL of lifetime per recovery).
 func (s *Store) Restore(updates []Update) {
 	for i := range s.parts {
 		p := &s.parts[i]
 		p.mu.Lock()
-		p.data = make(map[string][]byte)
+		p.tab.init(minTableCap)
 		p.mu.Unlock()
 	}
 	s.Apply(updates)

@@ -160,14 +160,39 @@ func (t *lockTxn) Get(key string) ([]byte, bool, error) {
 	}
 	part := &t.store.parts[p]
 	part.mu.Lock()
-	v, ok := part.data[key]
-	part.mu.Unlock()
-	if !ok {
-		return nil, false, nil
+	v, ok := part.tab.getRefresh(key, t.store.exp.nowTick())
+	var out []byte
+	if ok {
+		out = make([]byte, len(v))
+		copy(out, v) // copy out before releasing the partition mutex
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out, true, nil
+	part.mu.Unlock()
+	return out, ok, nil
+}
+
+// DeleteExpired implements ExpiryTxn: it buffers a deletion only if key is
+// still present with an elapsed TTL at now, so a refresh that raced the
+// expiry collection wins.
+func (t *lockTxn) DeleteExpired(key string, now int64) (bool, error) {
+	cfg := t.store.exp
+	if cfg == nil {
+		return false, nil
+	}
+	p := t.store.PartitionOf(key)
+	if err := t.lockPartition(p); err != nil {
+		return false, err
+	}
+	if _, ok := t.writes[key]; ok {
+		return false, nil // a buffered write in this txn supersedes expiry
+	}
+	part := &t.store.parts[p]
+	part.mu.Lock()
+	due := part.tab.expiredAt(key, cfg.ticksAt(now))
+	part.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	return true, t.Delete(key)
 }
 
 // Put buffers a write; it becomes visible (and replicable) at commit.
@@ -231,16 +256,17 @@ func (t *lockTxn) commit(onCommit func(Result)) (Result, error) {
 	// never blocks, so completing cannot create a deadlock, and 2PL already
 	// guarantees serializability. Only acquiring/waiting transactions abort.
 	res := Result{ReadOnly: len(t.writeLog) == 0}
+	now := t.store.exp.nowTick()
 	for _, u := range t.writeLog {
 		part := &t.store.parts[u.Partition]
 		part.mu.Lock()
 		if u.Value == nil {
-			delete(part.data, u.Key)
+			part.tab.del(u.Key)
 		} else {
-			// u.Value was copied at Put and is immutable from here on: the
-			// store entry and the piggybacked update share it, saving a copy
-			// per write.
-			part.data[u.Key] = u.Value
+			// u.Value stays exclusively the piggybacked update's: the table
+			// copies it into a slot-owned buffer, so a later in-place
+			// overwrite can never corrupt a retained log.
+			part.tab.put(u.Key, u.Value, now)
 		}
 		part.mu.Unlock()
 		res.Updates = append(res.Updates, *u)

@@ -1,0 +1,144 @@
+package state
+
+// wheel is a two-level hierarchical timing wheel tracking TTL deadlines for
+// one partition table. Level 0 resolves single ticks across a 256-tick
+// window; level 1 covers 256×256 ticks at 256-tick resolution; deadlines
+// beyond both horizons park in an overflow list. Entries reference table
+// slots by index plus a lifecycle generation, so a deleted or rehashed slot
+// simply invalidates its entry instead of requiring removal.
+//
+// The wheel is deliberately tolerant of imprecise filing: advance re-checks
+// every popped entry against the slot's current deadline (via the caller's
+// callback) and re-files it if the deadline moved. That makes refresh lazy —
+// a read or write that extends a flow's TTL only rewrites slot.exp; the
+// stale wheel entry re-files itself when it pops early. Combined with the
+// slot.sched flag (at most one live entry per slot lifecycle), wheel
+// membership never grows beyond the live armed-key count plus stale entries
+// awaiting one pop.
+//
+// Like the table, the wheel is guarded by the partition mutex.
+type wheel struct {
+	// buckets holds both levels flattened: [0..wheelSlots) is level 0,
+	// [wheelSlots..2*wheelSlots) is level 1. nil until the first add, so
+	// stores without expiry pay nothing.
+	buckets  [][]wheelEntry
+	overflow []wheelEntry // deadlines beyond the level-1 horizon
+	pending  []wheelEntry // due now: re-filed at or before the current tick
+	last     int64        // last tick advance processed
+	started  bool
+}
+
+// wheelEntry references one armed table slot.
+type wheelEntry struct {
+	slot int32  // table slot index
+	gen  uint32 // slot lifecycle generation at filing time
+}
+
+const (
+	wheelBits    = 8
+	wheelSlots   = 1 << wheelBits // buckets per level
+	wheelMask    = wheelSlots - 1
+	wheelSpan    = wheelSlots * wheelSlots // level-1 horizon in ticks
+	defaultTick  = 50 * 1000 * 1000        // 50ms in nanoseconds
+	minTTLTicks  = 1
+	sweepGapTick = wheelSpan // clock jumps past the horizon trigger a sweep
+)
+
+func (w *wheel) reset() {
+	if w.buckets != nil {
+		for i := range w.buckets {
+			w.buckets[i] = w.buckets[i][:0]
+		}
+	}
+	w.overflow = w.overflow[:0]
+	w.pending = w.pending[:0]
+	w.started = false
+	w.last = 0
+}
+
+// add files e under its deadline tick. Deadlines at or before the current
+// tick go to the pending list, which the next advance drains regardless of
+// clock movement.
+func (w *wheel) add(e wheelEntry, tick int64) {
+	if w.buckets == nil {
+		w.buckets = make([][]wheelEntry, 2*wheelSlots)
+	}
+	if !w.started {
+		w.started = true
+		w.last = tick - 1
+	}
+	rel := tick - w.last
+	switch {
+	case rel <= 0:
+		w.pending = append(w.pending, e)
+	case rel < wheelSlots:
+		i := int(tick) & wheelMask
+		w.buckets[i] = append(w.buckets[i], e)
+	case rel < wheelSpan:
+		i := wheelSlots + (int(tick>>wheelBits) & wheelMask)
+		w.buckets[i] = append(w.buckets[i], e)
+	default:
+		w.overflow = append(w.overflow, e)
+	}
+}
+
+// advance moves the wheel to nowTick, invoking refile for every entry whose
+// bucket comes due. refile returns the entry's next deadline tick: 0 drops
+// the entry (stale or consumed), a value at or before nowTick parks it on
+// the pending list, and a future value re-files it. Pending entries are
+// re-examined on every call, even when the clock has not moved.
+func (w *wheel) advance(nowTick int64, refile func(wheelEntry) int64) {
+	if w.buckets == nil {
+		return
+	}
+	if !w.started {
+		w.started = true
+		w.last = nowTick
+	}
+	w.drain(&w.pending, refile)
+	if nowTick <= w.last {
+		return
+	}
+	if nowTick-w.last >= sweepGapTick {
+		// The clock jumped past the wheel horizon (forced expiry, long
+		// idle): re-examine everything instead of stepping tick by tick.
+		for i := range w.buckets {
+			w.drain(&w.buckets[i], refile)
+		}
+		w.drain(&w.overflow, refile)
+		w.last = nowTick
+		return
+	}
+	for t := w.last + 1; t <= nowTick; t++ {
+		w.last = t // filing position for re-files during this tick
+		if t&wheelMask == 0 {
+			// Cascade: redistribute the level-1 bucket this window opens.
+			i := wheelSlots + (int(t>>wheelBits) & wheelMask)
+			w.drain(&w.buckets[i], refile)
+			if (t>>wheelBits)&wheelMask == 0 {
+				w.drain(&w.overflow, refile)
+			}
+		}
+		w.drain(&w.buckets[int(t)&wheelMask], refile)
+	}
+	w.last = nowTick
+}
+
+// drain empties one bucket through refile, re-filing survivors. The bucket
+// is detached first so re-files landing in the same bucket are kept.
+func (w *wheel) drain(bucket *[]wheelEntry, refile func(wheelEntry) int64) {
+	entries := *bucket
+	if len(entries) == 0 {
+		return
+	}
+	*bucket = nil
+	for _, e := range entries {
+		if next := refile(e); next > 0 {
+			w.add(e, next)
+		}
+	}
+	// Recycle the detached backing array if the bucket stayed empty.
+	if len(*bucket) == 0 {
+		*bucket = entries[:0]
+	}
+}
