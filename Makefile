@@ -5,7 +5,7 @@ GO ?= go
 BURST ?= 32
 DATE  := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet doclint race stress chaos bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
+.PHONY: all build test vet doclint crossbuild race stress chaos bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
 
 all: build vet test
 
@@ -24,6 +24,14 @@ vet:
 # links to their invariant and phase definitions).
 doclint:
 	$(GO) run scripts/doclint.go internal/state internal/trans internal/chaos internal/orch cmd/ftcd cmd/ftcgen
+
+# Cross-compile gate: the transport's Linux fast path (sendmmsg/recvmmsg,
+# SO_REUSEPORT) lives behind build tags with portable fallbacks; compiling
+# and vetting a non-Linux target proves the fallback files stay buildable
+# so a tag or syscall leak cannot silently break other platforms.
+crossbuild:
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
+	GOOS=darwin GOARCH=arm64 $(GO) vet ./...
 
 # Race-check the packages that share frames and scratch buffers across
 # goroutines: the pooled-frame ownership rules live here. internal/trans
@@ -55,7 +63,8 @@ bench-smoke:
 # per sub-benchmark instead of once per benchtime ramp step.
 bench-guard:
 	{ $(GO) test ./... -run=NONE -bench=FastPath -benchtime=100x ; \
-	  $(GO) test . -run=NONE -bench=MillionFlows -benchtime=100000x ; } \
+	  $(GO) test . -run=NONE -bench=MillionFlows -benchtime=100000x ; \
+	  $(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=30000x -benchmem ; } \
 		| tee /dev/stderr | $(GO) run scripts/bench_compare.go
 
 # Deterministic chaos campaigns under -race: CHAOS_COUNT consecutive seeds
@@ -78,7 +87,9 @@ bench-fig5:
 	$(GO) test . -run=NONE -bench=Fig5 -benchtime=2s -benchmem
 
 # Multi-process transport benchmark: loopback tunnel throughput at
-# burst=1 (per-packet datagrams) vs burst=32 (packed datagrams).
+# burst=1 (per-packet datagrams) vs burst=32 (packed datagrams), crossing
+# jumbo (8972) and real-Ethernet (1472) MTU budgets with the packed
+# one-syscall-per-datagram reference vs the sendmmsg/recvmmsg path.
 bench-bridge:
 	$(GO) test ./internal/trans -run=NONE -bench=BridgeThroughput -benchtime=2s -benchmem
 
@@ -101,8 +112,8 @@ bench-json:
 		> BENCH_$(DATE).json
 	@echo wrote BENCH_$(DATE).json
 
-# The full pre-merge gate: build, vet, doc lint, the benchmark regression
-# guard (allocation smoke benchmarks diffed against baseline), the
-# race-sensitive packages under -race, the scheduler stress gate, and the
-# whole test suite.
-ci: build vet doclint bench-guard race stress test
+# The full pre-merge gate: build, vet, doc lint, the non-Linux
+# cross-compile gate, the benchmark regression guard (allocation smoke
+# benchmarks diffed against baseline), the race-sensitive packages under
+# -race, the scheduler stress gate, and the whole test suite.
+ci: build vet doclint crossbuild bench-guard race stress test

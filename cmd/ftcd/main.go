@@ -17,9 +17,13 @@
 // same peer, flushed early when a datagram would exceed -mtu-budget bytes.
 // -burst also sets the replica's in-process vector-processing batch size,
 // so one knob tunes the whole pipeline; -burst 1 reproduces the per-packet
-// transport. Traffic enters by sending packed frames (as ftcgen sends
-// them) to replica 0's UDP address; released packets leave from the last
-// replica to -egress in the same packed format.
+// transport. On Linux the socket path moves whole vectors of those packed
+// datagrams per syscall (sendmmsg/recvmmsg) across -sockets SO_REUSEPORT
+// sockets; -no-mmsg falls back to one syscall per datagram with an
+// unchanged wire format, so mixed deployments interoperate. Traffic enters
+// by sending packed frames (as ftcgen sends them) to replica 0's UDP
+// address; released packets leave from the last replica to -egress in the
+// same packed format.
 package main
 
 import (
@@ -98,6 +102,9 @@ func main() {
 		noSteal   = flag.Bool("no-steal", false, "pin workers 1:1 onto ingress queues instead of work stealing")
 		stealFact = flag.Int("steal-factor", core.DefaultStealFactor, "steal partitions per worker (with stealing enabled)")
 		mtuBudget = flag.Int("mtu-budget", trans.DefaultMTUBudget, "tunnel datagram packing budget in bytes")
+		sockets   = flag.Int("sockets", 0, "SO_REUSEPORT data-plane sockets sharing the UDP port (0 = GOMAXPROCS; non-Linux always 1)")
+		sockBuf   = flag.Int("sockbuf", 0, "requested SO_RCVBUF/SO_SNDBUF per data-plane socket in bytes (0 = OS default)")
+		noMMsg    = flag.Bool("no-mmsg", false, "disable sendmmsg/recvmmsg batching, one syscall per datagram (wire format unchanged)")
 	)
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "remote ring node: index=udpaddr[/tcpaddr] (repeatable)")
@@ -164,7 +171,8 @@ func main() {
 	defer replica.Stop()
 
 	bridge, err := trans.NewBridge(fabric, local.ID(), *listenUDP, *listenTCP, peerList,
-		trans.Config{Burst: *burst, MTUBudget: *mtuBudget})
+		trans.Config{Burst: *burst, MTUBudget: *mtuBudget,
+			Sockets: *sockets, SocketBuf: *sockBuf, NoMMsg: *noMMsg})
 	if err != nil {
 		log.Fatalf("ftcd: %v", err)
 	}
@@ -179,8 +187,12 @@ func main() {
 	if cfg.Burst == 0 {
 		burstDesc = fmt.Sprintf("adaptive(max %d)", cfg.MaxBurst)
 	}
-	log.Printf("ftcd: data plane %s, control plane %s (burst %s, %d ingress queues, mtu budget %d)",
-		udpAddr, tcpAddr, burstDesc, local.NumQueues(), *mtuBudget)
+	bs := bridge.Stats()
+	// Socket-buffer truth logging: the kernel clamps (and on Linux
+	// doubles) setsockopt requests, so report what it actually granted.
+	log.Printf("ftcd: data plane %s, control plane %s (burst %s, %d ingress queues, mtu budget %d, %d sockets, rcvbuf %d, sndbuf %d)",
+		udpAddr, tcpAddr, burstDesc, local.NumQueues(), *mtuBudget,
+		bs.Sockets, bs.EffRcvBuf, bs.EffSndBuf)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -193,6 +205,8 @@ func main() {
 	log.Printf("ftcd: tunnel out=%d frames/%d dgrams in=%d frames/%d dgrams oversize=%d truncated=%d",
 		ts.FramesOut, ts.DatagramsOut, ts.FramesIn, ts.DatagramsIn,
 		ts.OversizeDrops, ts.TruncatedDatagrams)
+	log.Printf("ftcd: tunnel syscalls send=%d recv=%d over %d sockets (rcvbuf %d, sndbuf %d)",
+		ts.SendSyscalls, ts.RecvSyscalls, ts.Sockets, ts.EffRcvBuf, ts.EffSndBuf)
 	sched := replica.Sched()
 	log.Printf("ftcd: sched steals=%d burst=%d clamps=%d queue depths=%v",
 		sched.Steals.Value(), sched.Burst.Value(), local.Clamps(),

@@ -8,8 +8,12 @@
 // coalesces up to -burst frames per datagram, but only when it is behind
 // its -rate schedule — whenever pacing calls for a sleep the pending
 // datagram is flushed first, so latency measurements stay per-packet
-// honest at low rates and full bursts form only under load. The sink
-// unpacks every datagram it receives from a chain's -egress.
+// honest at low rates and full bursts form only under load. With
+// -sockets N the generator spreads flows across N source sockets (flow
+// mod N, so per-flow order holds); since a chain replica's SO_REUSEPORT
+// group hashes on the 4-tuple, N>1 is what fans ingress across the
+// chain's receive sockets. The sink unpacks every datagram it receives
+// from a chain's -egress.
 //
 // Generate against a chain and measure its egress:
 //
@@ -50,6 +54,7 @@ func main() {
 		skew     = flag.Float64("skew", 0, "Zipf flow-popularity parameter s > 1 (0 = uniform round-robin); flow 0 becomes the elephant")
 		burst    = flag.Int("burst", 32, "max frames coalesced per ingress datagram (1 = per-packet)")
 		budget   = flag.Int("mtu-budget", trans.DefaultMTUBudget, "ingress datagram packing budget in bytes")
+		sockets  = flag.Int("sockets", 1, "source sockets to spread flows across (each is one 4-tuple, so N>1 exercises the chain's SO_REUSEPORT receive fan-out)")
 	)
 	flag.Parse()
 	if *target == "" && *listen == "" {
@@ -78,11 +83,18 @@ func main() {
 
 	var sent uint64
 	if *target != "" {
-		conn, err := net.Dial("udp", *target)
-		if err != nil {
-			log.Fatalf("ftcgen: %v", err)
+		if *sockets < 1 {
+			*sockets = 1
 		}
-		defer conn.Close()
+		conns := make([]net.Conn, *sockets)
+		for i := range conns {
+			conn, err := net.Dial("udp", *target)
+			if err != nil {
+				log.Fatalf("ftcgen: %v", err)
+			}
+			defer conn.Close()
+			conns[i] = conn
+		}
 		frames := buildFrames(*flows, *size)
 		pick := func(i int) int { return i % len(frames) }
 		if *skew > 1 {
@@ -90,9 +102,9 @@ func main() {
 			z := rand.NewZipf(rand.New(rand.NewSource(1)), *skew, 1, uint64(len(frames)-1))
 			pick = func(int) int { return int(z.Uint64()) }
 		}
-		log.Printf("ftcgen: offering %.0f pps to %s for %v (burst %d, skew %g, mtu budget %d)",
-			*rate, *target, *duration, *burst, *skew, *budget)
-		sent = generate(conn, frames, pick, *rate, *duration, *burst, *budget)
+		log.Printf("ftcgen: offering %.0f pps to %s for %v (burst %d, skew %g, mtu budget %d, %d sockets)",
+			*rate, *target, *duration, *burst, *skew, *budget, *sockets)
+		sent = generate(conns, frames, pick, *rate, *duration, *burst, *budget)
 	} else {
 		time.Sleep(*duration)
 	}
@@ -139,14 +151,55 @@ func buildFrames(flows, size int) [][]byte {
 	return out
 }
 
+// genSock is one source socket with its pending packed datagram. Each
+// socket is a distinct connected 4-tuple, and a chain replica's
+// SO_REUSEPORT group hashes on the 4-tuple — so one ftcgen socket always
+// lands on one receive socket, and spreading flows across -sockets is
+// what exercises (and scales) the chain's receive fan-out.
+type genSock struct {
+	conn    net.Conn
+	dgram   []byte
+	inBatch int
+}
+
+func (g *genSock) flush() bool {
+	if len(g.dgram) == 0 {
+		return true
+	}
+	_, err := g.conn.Write(g.dgram)
+	g.dgram = g.dgram[:0]
+	g.inBatch = 0
+	if err != nil {
+		log.Printf("ftcgen: send: %v", err)
+		return false
+	}
+	return true
+}
+
 // generate stamps and sends workload frames in the packed tunnel format,
-// coalescing up to burst frames (within the MTU budget) per datagram.
-// The pending datagram is flushed before every pacing sleep, so datagrams
-// only fill when the generator is behind schedule: -rate 0 (maximum load)
-// sends full bursts, low rates send one frame per datagram.
-func generate(conn net.Conn, frames [][]byte, pick func(int) int, rate float64, d time.Duration, burst, budget int) uint64 {
+// coalescing up to burst frames (within the MTU budget) per datagram on
+// each source socket. A flow sticks to one socket for its lifetime
+// (socket = flow mod len(conns)), preserving per-flow FIFO end to end.
+// Every pending datagram on every socket is flushed before a pacing
+// sleep, so datagrams only fill when the generator is behind schedule:
+// -rate 0 (maximum load) sends full bursts, low rates send one frame per
+// datagram and latency measurements stay per-packet honest.
+func generate(conns []net.Conn, frames [][]byte, pick func(int) int, rate float64, d time.Duration, burst, budget int) uint64 {
 	if burst < 1 {
 		burst = 1
+	}
+	socks := make([]*genSock, len(conns))
+	for i, c := range conns {
+		socks[i] = &genSock{conn: c, dgram: make([]byte, 0, budget+trans.MaxFrame)}
+	}
+	flushAll := func() bool {
+		ok := true
+		for _, g := range socks {
+			if !g.flush() {
+				ok = false
+			}
+		}
+		return ok
 	}
 	payloadOff := wire.EthernetHeaderLen + wire.IPv4MinHeaderLen + wire.UDPHeaderLen
 	var seq, sent uint64
@@ -155,56 +208,43 @@ func generate(conn net.Conn, frames [][]byte, pick func(int) int, rate float64, 
 	if rate > 0 {
 		interval = time.Duration(float64(time.Second) / rate)
 	}
-	dgram := make([]byte, 0, budget+trans.MaxFrame)
-	inBatch := 0
-	flush := func() bool {
-		if len(dgram) == 0 {
-			return true
-		}
-		_, err := conn.Write(dgram)
-		dgram = dgram[:0]
-		inBatch = 0
-		if err != nil {
-			log.Printf("ftcgen: send: %v", err)
-			return false
-		}
-		return true
-	}
 	next := time.Now()
 	for i := 0; time.Now().Before(deadline); i++ {
 		// AppendFrame copies the frame into the datagram immediately, so a
 		// skewed pick repeating one flow within a datagram cannot alias.
-		frame := frames[pick(i)]
+		flow := pick(i)
+		frame := frames[flow]
+		g := socks[flow%len(socks)]
 		seq++
 		binary.BigEndian.PutUint64(frame[payloadOff+8:], seq)
 		binary.BigEndian.PutUint64(frame[payloadOff+16:], uint64(time.Now().UnixNano()))
 		binary.BigEndian.PutUint16(frame[payloadOff-2:], 0) // zero UDP checksum
-		if len(dgram) > 0 && len(dgram)+2+len(frame) > budget {
-			if !flush() {
+		if len(g.dgram) > 0 && len(g.dgram)+2+len(frame) > budget {
+			if !g.flush() {
 				break
 			}
 		}
 		var err error
-		if dgram, err = trans.AppendFrame(dgram, frame); err != nil {
+		if g.dgram, err = trans.AppendFrame(g.dgram, frame); err != nil {
 			log.Printf("ftcgen: %v", err)
 			break
 		}
 		sent++
-		inBatch++
-		if inBatch >= burst && !flush() {
+		g.inBatch++
+		if g.inBatch >= burst && !g.flush() {
 			break
 		}
 		if interval > 0 {
 			next = next.Add(interval)
 			if sleep := time.Until(next); sleep > 0 {
-				if !flush() {
+				if !flushAll() {
 					break
 				}
 				time.Sleep(sleep)
 			}
 		}
 	}
-	flush()
+	flushAll()
 	return sent
 }
 

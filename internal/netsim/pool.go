@@ -23,14 +23,17 @@ package netsim
 // into a sync.Pool boxes the slice header (one allocation per release, which
 // would defeat the point), while channel elements are stored inline.
 
-const poolClassCap = 512 // frames retained per size class
-
+// Class capacities scale inversely with buffer size, so each class retains
+// a few MiB at most while the small-packet classes hold enough buffers to
+// cover deep tx/rx pipelines (a socket bridge keeps a send window plus two
+// ingress queues of small frames in flight at once; a cap below that
+// population turns every burst boundary into miss-then-discard churn).
 var framePools = [...]framePool{
-	{size: 256, ch: make(chan []byte, poolClassCap)},
-	{size: 1 << 10, ch: make(chan []byte, poolClassCap)},
-	{size: 1 << 12, ch: make(chan []byte, poolClassCap)},
-	{size: 1 << 14, ch: make(chan []byte, poolClassCap)},
-	{size: 1 << 16, ch: make(chan []byte, poolClassCap)},
+	{size: 256, ch: make(chan []byte, 8192)},     // ≤2 MiB retained
+	{size: 1 << 10, ch: make(chan []byte, 4096)}, // ≤4 MiB
+	{size: 1 << 12, ch: make(chan []byte, 1024)}, // ≤4 MiB
+	{size: 1 << 14, ch: make(chan []byte, 512)},  // ≤8 MiB
+	{size: 1 << 16, ch: make(chan []byte, 256)},  // ≤16 MiB
 }
 
 type framePool struct {

@@ -1,7 +1,6 @@
 package trans
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -13,19 +12,44 @@ import (
 // BenchmarkBridgeThroughput measures tunnel throughput between two bridge
 // processes over real loopback UDP sockets: a sender fabric whose node
 // blasts 256-byte frames at its peer proxy, and a receiver fabric whose
-// node drains them. burst=1 frames one datagram per packet (the
-// pre-batching transport); burst=32 coalesces full bursts into packed
-// datagrams and injects them with Fabric.SendBurst. The pps metric is
-// frames observed at the receiving node per second.
+// node drains them. The matrix crosses datagram packing with syscall
+// batching:
+//
+//   - burst=1 frames one datagram per packet (the pre-batching transport).
+//   - packed is the PR 3 reference: packed datagrams, one syscall each,
+//     one socket (Config.NoMMsg).
+//   - mmsg is the default Linux path: sendmmsg/recvmmsg datagram vectors
+//     plus SO_REUSEPORT socket-per-worker (identical to packed on other
+//     platforms, where NoMMsg is the only transport).
+//   - mtu=8972 is the jumbo loopback budget; mtu=1472 is a real Ethernet
+//     MTU, where ~6× more datagrams per frame make the per-syscall cost
+//     the wall the mmsg path exists to tear down.
+//
+// The pps metric is frames observed at the receiving node per second;
+// sys/frame is data-plane syscalls (tx send + rx recv) per delivered
+// frame, from the bridge Stats counters.
 func BenchmarkBridgeThroughput(b *testing.B) {
-	for _, burst := range []int{1, 32} {
-		b.Run(fmt.Sprintf("burst=%d", burst), func(b *testing.B) {
-			benchBridge(b, burst)
+	mtu1472 := 1500 - 28
+	cases := []struct {
+		name   string
+		burst  int
+		mtu    int
+		noMMsg bool
+	}{
+		{"burst=1", 1, DefaultMTUBudget, false},
+		{"burst=32/mtu=8972/packed", 32, DefaultMTUBudget, true},
+		{"burst=32/mtu=8972/mmsg", 32, DefaultMTUBudget, false},
+		{"burst=32/mtu=1472/packed", 32, mtu1472, true},
+		{"burst=32/mtu=1472/mmsg", 32, mtu1472, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			benchBridge(b, c.burst, c.mtu, c.noMMsg)
 		})
 	}
 }
 
-func benchBridge(b *testing.B, burst int) {
+func benchBridge(b *testing.B, burst, mtu int, noMMsg bool) {
 	// UDP has no flow control: an unpaced sender just overruns the
 	// receive socket, and the benchmark would measure kernel drop
 	// processing. The sender therefore keeps a bounded credit window of
@@ -34,10 +58,17 @@ func benchBridge(b *testing.B, burst int) {
 	const window = 1024
 	const sockBuf = 4 << 20
 
+	sockets := 0 // default: GOMAXPROCS on the mmsg path
+	if noMMsg {
+		sockets = 1 // the PR 3 single-socket reference
+	}
+	cfg := Config{Burst: burst, MTUBudget: mtu, SocketBuf: sockBuf,
+		Sockets: sockets, NoMMsg: noMMsg}
+
 	rxFab := netsim.New(netsim.Config{})
 	defer rxFab.Stop()
 	rxNode := rxFab.AddNode("dst", netsim.NodeConfig{QueueCap: 2 * window})
-	rxBridge, err := NewBridge(rxFab, "dst", "", "", nil, Config{Burst: burst, SocketBuf: sockBuf})
+	rxBridge, err := NewBridge(rxFab, "dst", "", "", nil, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,7 +80,7 @@ func benchBridge(b *testing.B, burst int) {
 	txNode := txFab.AddNode("src", netsim.NodeConfig{QueueCap: 2 * window})
 	txBridge, err := NewBridge(txFab, "src", "", "", []Peer{
 		{ID: "dst", UDPAddr: rxUDP, TCPAddr: rxTCP},
-	}, Config{Burst: burst, SocketBuf: sockBuf})
+	}, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -90,6 +121,7 @@ func benchBridge(b *testing.B, burst int) {
 
 	bufs := make([]netsim.Inbound, 64)
 	b.ResetTimer()
+	sysStart := txBridge.Stats().SendSyscalls + rxBridge.Stats().RecvSyscalls
 	start := time.Now()
 	received := 0
 	for received < b.N {
@@ -105,6 +137,7 @@ func benchBridge(b *testing.B, burst int) {
 		receivedCount.Add(int64(n))
 	}
 	elapsed := time.Since(start)
+	sysEnd := txBridge.Stats().SendSyscalls + rxBridge.Stats().RecvSyscalls
 	b.StopTimer()
 	close(stop)
 	// Closing the sender bridge crashes its proxy, unblocking a sender
@@ -112,4 +145,5 @@ func benchBridge(b *testing.B, burst int) {
 	txBridge.Close()
 	senderDone.Wait()
 	b.ReportMetric(float64(received)/elapsed.Seconds(), "pps")
+	b.ReportMetric(float64(sysEnd-sysStart)/float64(received), "sys/frame")
 }

@@ -5,14 +5,18 @@
 // nodes standing in for its remote peers; the bridge shuttles frames and
 // RPCs between the proxies and the network.
 //
-// The data plane moves bursts, not packets: frames bound for the same peer
-// are coalesced into batched datagrams (one length-prefixed record per
-// frame, see frame.go and DESIGN.md §8) up to Config.MTUBudget bytes, and
-// the receive loop drains whatever the socket already holds before
-// injecting the whole batch into the local fabric with one
-// netsim.Fabric.SendBurst call — the socket-transport mirror of the
-// in-process RecvBurst/SendBurst discipline. Partial bursts flush
-// immediately, so Burst=1 and light load keep per-packet latency.
+// The data plane batches at two levels (DESIGN.md §8): frames bound for
+// the same peer are coalesced into packed datagrams (one length-prefixed
+// record per frame, see frame.go) up to Config.MTUBudget bytes, and on
+// Linux whole *vectors of datagrams* move per syscall — sendmmsg on the
+// send side, recvmmsg on the receive side — the userspace analogue of the
+// paper's DPDK rx/tx bursts. Inbound load is spread by the kernel across
+// Config.Sockets SO_REUSEPORT sockets, one receive goroutine each, so the
+// kernel's 4-tuple hash does RSS instead of funneling every peer through
+// one socket. Partial bursts flush immediately, so Burst=1 and light load
+// keep per-packet latency. Non-Linux builds fall back to the portable
+// one-datagram-per-syscall path on a single socket; the wire format is
+// identical, so mixed deployments interoperate.
 //
 // This is the deployment path cmd/ftcd uses. The protocol logic is byte-
 // identical to the in-process fabric — the bridge only moves frames.
@@ -24,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -35,6 +40,17 @@ import (
 // DefaultBurst is the default number of frames a bridge moves per wakeup,
 // matching core.DefaultBurst (the paper testbed's DPDK burst of 32).
 const DefaultBurst = 32
+
+// sendBatchDatagrams is the datagram-vector capacity of one sendmmsg call:
+// a proxy drain seals packed datagrams into a batch and ships up to this
+// many with one syscall. A full adaptive burst of small frames at a real
+// 1472-byte MTU packs into well under this many datagrams.
+const sendBatchDatagrams = 64
+
+// maxSockets caps Config.Sockets: SO_REUSEPORT groups beyond the machine's
+// core count only fragment the kernel's flow hash without adding recv
+// parallelism.
+const maxSockets = 16
 
 // Config tunes a bridge's batching behaviour.
 type Config struct {
@@ -52,12 +68,27 @@ type Config struct {
 	// travels alone in its own datagram. Defaults to DefaultMTUBudget.
 	MTUBudget int
 	// SocketBuf, if non-zero, requests this many bytes of kernel
-	// send and receive buffering on the tunnel's UDP socket
+	// send and receive buffering on each tunnel UDP socket
 	// (SO_SNDBUF/SO_RCVBUF). Bursty chains on small default buffers
 	// drop tail-of-burst datagrams under load; sizing for a few
 	// bandwidth-delay products of traffic smooths them out. Zero keeps
-	// the OS default.
+	// the OS default. The kernel silently clamps requests to its
+	// rmem/wmem caps — Stats.EffRcvBuf and Stats.EffSndBuf report what
+	// it actually granted.
 	SocketBuf int
+	// Sockets is the number of SO_REUSEPORT UDP sockets the data plane
+	// binds to the same address, one receive goroutine each, so the
+	// kernel hashes inbound flows across them (RSS). 0 — the default —
+	// selects GOMAXPROCS. Clamped to 1 on platforms without the Linux
+	// fast path, where the bridge runs the portable single-socket
+	// transport.
+	Sockets int
+	// NoMMsg disables the Linux sendmmsg/recvmmsg batched-syscall path,
+	// forcing the portable one-datagram-per-syscall transport (the
+	// behaviour of non-Linux builds). The wire format is unchanged, so
+	// NoMMsg and mmsg bridges interoperate; it exists for benchmarking
+	// the syscall batching win and for mixed-deployment tests.
+	NoMMsg bool
 }
 
 // withDefaults fills zero fields with the package defaults.
@@ -67,6 +98,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MTUBudget <= 0 {
 		c.MTUBudget = DefaultMTUBudget
+	}
+	if c.Sockets <= 0 {
+		c.Sockets = runtime.GOMAXPROCS(0)
+	}
+	if c.Sockets > maxSockets {
+		c.Sockets = maxSockets
+	}
+	if !reuseportSupported {
+		c.Sockets = 1
 	}
 	return c
 }
@@ -93,12 +133,23 @@ type Peer struct {
 	TCPAddr string
 }
 
-// peerState is a registered peer plus its pre-resolved data-plane address,
-// so the send path pays the DNS/parse cost once per AddPeer instead of
-// once per burst.
+// peerState is a registered peer plus its pre-resolved data-plane address
+// and its assigned local socket, so the send path pays the DNS/parse cost
+// once per AddPeer instead of once per burst. The socket assignment is
+// sticky: all of a peer's datagrams leave through one local socket, so the
+// (src, dst) 4-tuple — and therefore the remote SO_REUSEPORT hash bucket —
+// is stable and per-peer FIFO order survives multi-socket fan-out.
 type peerState struct {
 	peer Peer
 	addr *net.UDPAddr
+	sock *sock
+}
+
+// sock is one data-plane UDP socket plus its raw-syscall handle (nil where
+// SyscallConn is unavailable, which disables the raw fast paths).
+type sock struct {
+	conn *net.UDPConn
+	raw  syscall.RawConn
 }
 
 // Stats is a point-in-time snapshot of a bridge's tunnel counters.
@@ -108,12 +159,28 @@ type Stats struct {
 	// DatagramsOut and DatagramsIn count the UDP datagrams carrying
 	// them; FramesOut/DatagramsOut is the achieved send coalescing.
 	DatagramsOut, DatagramsIn uint64
+	// SendSyscalls and RecvSyscalls count data-plane socket syscall
+	// invocations (sendmmsg/sendto and recvmmsg/recvfrom, including
+	// non-blocking probes that returned nothing); DatagramsOut over
+	// SendSyscalls is the achieved syscall batching, and
+	// (SendSyscalls+RecvSyscalls)/FramesOut is the syscalls-per-frame
+	// cost the mmsg path exists to shrink.
+	SendSyscalls, RecvSyscalls uint64
 	// OversizeDrops counts frames rejected on send for exceeding
 	// MaxFrame (see FrameTooLargeError).
 	OversizeDrops uint64
 	// TruncatedDatagrams counts received datagrams that ended
-	// mid-record; their complete leading frames were still delivered.
+	// mid-record (including kernel-side MSG_TRUNC short reads); their
+	// complete leading frames were still delivered.
 	TruncatedDatagrams uint64
+	// Sockets is the number of SO_REUSEPORT data-plane sockets in use.
+	Sockets int
+	// EffRcvBuf and EffSndBuf are the kernel's effective socket buffer
+	// sizes (SO_RCVBUF/SO_SNDBUF read back after configuration; Linux
+	// reports double the granted request) — the truth behind
+	// Config.SocketBuf, which the kernel silently clamps to its
+	// rmem/wmem caps. Zero where the platform offers no readback.
+	EffRcvBuf, EffSndBuf int
 }
 
 // Bridge tunnels one local fabric node's traffic to remote peers.
@@ -122,21 +189,20 @@ type Bridge struct {
 	localID netsim.NodeID
 	cfg     Config
 
-	udp *net.UDPConn
-	tcp net.Listener
+	socks []*sock
+	tcp   net.Listener
 
-	// rawUDP is the udp socket's raw-control handle, resolved lazily by
-	// the Linux non-blocking drain (tryReadMore); nil where unsupported.
-	rawOnce sync.Once
-	rawUDP  syscall.RawConn
+	effRcvBuf, effSndBuf int
 
-	mu    sync.Mutex
-	peers map[netsim.NodeID]*peerState
+	mu         sync.Mutex
+	peers      map[netsim.NodeID]*peerState
+	sockCursor int
 
-	framesOut, framesIn       atomic.Uint64
-	datagramsOut, datagramsIn atomic.Uint64
-	oversizeDrops             atomic.Uint64
-	truncatedDatagrams        atomic.Uint64
+	framesOut, framesIn        atomic.Uint64
+	datagramsOut, datagramsIn  atomic.Uint64
+	sendSyscalls, recvSyscalls atomic.Uint64
+	oversizeDrops              atomic.Uint64
+	truncatedDatagrams         atomic.Uint64
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -146,56 +212,69 @@ type Bridge struct {
 // NewBridge creates a bridge for the given local node, listening on the
 // UDP and TCP addresses, with proxy nodes for each peer. Pass empty listen
 // addresses to pick ephemeral ports (see Addrs); the zero Config selects
-// the default burst and MTU budget.
+// the default burst, MTU budget, and one SO_REUSEPORT socket per
+// GOMAXPROCS (Linux).
 func NewBridge(fabric *netsim.Fabric, localID netsim.NodeID, listenUDP, listenTCP string, peers []Peer, cfg Config) (*Bridge, error) {
+	cfg = cfg.withDefaults()
 	if listenUDP == "" {
 		listenUDP = "127.0.0.1:0"
 	}
 	if listenTCP == "" {
 		listenTCP = "127.0.0.1:0"
 	}
-	uaddr, err := net.ResolveUDPAddr("udp", listenUDP)
-	if err != nil {
-		return nil, fmt.Errorf("trans: resolve udp: %w", err)
-	}
-	uc, err := net.ListenUDP("udp", uaddr)
+	conns, err := listenUDPSockets(listenUDP, cfg.Sockets)
 	if err != nil {
 		return nil, fmt.Errorf("trans: listen udp: %w", err)
 	}
-	if cfg.SocketBuf > 0 {
-		// Best effort: the kernel clamps to its rmem/wmem limits.
-		_ = uc.SetReadBuffer(cfg.SocketBuf)
-		_ = uc.SetWriteBuffer(cfg.SocketBuf)
+	socks := make([]*sock, len(conns))
+	for i, uc := range conns {
+		if cfg.SocketBuf > 0 {
+			// Best effort: the kernel clamps to its rmem/wmem limits;
+			// Stats reports the effective sizes.
+			_ = uc.SetReadBuffer(cfg.SocketBuf)
+			_ = uc.SetWriteBuffer(cfg.SocketBuf)
+		}
+		// A SyscallConn failure (exotic socket state) just disables the
+		// raw fast paths; the portable loops still move datagrams.
+		raw, _ := uc.SyscallConn()
+		socks[i] = &sock{conn: uc, raw: raw}
 	}
 	tl, err := net.Listen("tcp", listenTCP)
 	if err != nil {
-		uc.Close()
+		for _, s := range socks {
+			s.conn.Close()
+		}
 		return nil, fmt.Errorf("trans: listen tcp: %w", err)
 	}
 	b := &Bridge{
 		fabric:  fabric,
 		localID: localID,
-		cfg:     cfg.withDefaults(),
-		udp:     uc,
+		cfg:     cfg,
+		socks:   socks,
 		tcp:     tl,
 		peers:   make(map[netsim.NodeID]*peerState),
 		stopped: make(chan struct{}),
 	}
+	b.effRcvBuf, b.effSndBuf = sockBufSizes(conns[0])
 	for _, p := range peers {
 		if err := b.AddPeer(p); err != nil {
 			b.Close()
 			return nil, err
 		}
 	}
-	b.wg.Add(2)
-	go b.udpLoop()
+	b.wg.Add(1 + len(socks))
+	for _, s := range socks {
+		go b.udpLoop(s)
+	}
 	go b.tcpLoop()
 	return b, nil
 }
 
-// Addrs reports the bridge's bound UDP and TCP addresses.
+// Addrs reports the bridge's bound UDP and TCP addresses. With multiple
+// SO_REUSEPORT sockets, every socket shares the one UDP address — peers
+// need no socket-count awareness.
 func (b *Bridge) Addrs() (udp, tcp string) {
-	return b.udp.LocalAddr().String(), b.tcp.Addr().String()
+	return b.socks[0].conn.LocalAddr().String(), b.tcp.Addr().String()
 }
 
 // Stats snapshots the bridge's tunnel counters.
@@ -205,23 +284,37 @@ func (b *Bridge) Stats() Stats {
 		FramesIn:           b.framesIn.Load(),
 		DatagramsOut:       b.datagramsOut.Load(),
 		DatagramsIn:        b.datagramsIn.Load(),
+		SendSyscalls:       b.sendSyscalls.Load(),
+		RecvSyscalls:       b.recvSyscalls.Load(),
 		OversizeDrops:      b.oversizeDrops.Load(),
 		TruncatedDatagrams: b.truncatedDatagrams.Load(),
+		Sockets:            len(b.socks),
+		EffRcvBuf:          b.effRcvBuf,
+		EffSndBuf:          b.effSndBuf,
 	}
 }
 
 // AddPeer registers (or updates) a remote peer, creating its local proxy
 // node if needed. The proxy forwards data frames over UDP and control RPCs
 // over TCP. The data-plane address is resolved here, once, so an
-// unresolvable peer fails loudly instead of black-holing frames.
+// unresolvable peer fails loudly instead of black-holing frames; the peer
+// is also pinned to one local socket here (round-robin across the
+// SO_REUSEPORT group) so its wire 4-tuple never changes.
 func (b *Bridge) AddPeer(p Peer) error {
 	addr, err := net.ResolveUDPAddr("udp", p.UDPAddr)
 	if err != nil {
 		return fmt.Errorf("trans: resolve peer %s udp %q: %w", p.ID, p.UDPAddr, err)
 	}
 	b.mu.Lock()
-	_, existed := b.peers[p.ID]
-	b.peers[p.ID] = &peerState{peer: p, addr: addr}
+	old, existed := b.peers[p.ID]
+	ps := &peerState{peer: p, addr: addr}
+	if existed {
+		ps.sock = old.sock // keep the 4-tuple stable across re-registration
+	} else {
+		ps.sock = b.socks[b.sockCursor%len(b.socks)]
+		b.sockCursor++
+	}
+	b.peers[p.ID] = ps
 	b.mu.Unlock()
 	if existed {
 		return nil
@@ -238,23 +331,116 @@ func (b *Bridge) AddPeer(p Peer) error {
 	return nil
 }
 
-// peerAddr returns the pre-resolved data-plane address for a peer, or nil
-// if the peer is unknown.
-func (b *Bridge) peerAddr(id netsim.NodeID) *net.UDPAddr {
+// peerSock returns the pre-resolved data-plane address and assigned local
+// socket for a peer, or nils if the peer is unknown.
+func (b *Bridge) peerSock(id netsim.NodeID) (*sock, *net.UDPAddr) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ps := b.peers[id]; ps != nil {
-		return ps.addr
+		return ps.sock, ps.addr
 	}
-	return nil
+	return nil, nil
 }
 
 // rpcNames lists the control RPCs proxied across processes. Kept in sync
 // with the core package's control plane.
 var rpcNames = []string{"ftc.repair", "ftc.fetch", "ftc.setgen", "ftc.setroute", "ftc.ping"}
 
+// ---- send path: frames → packed datagrams → datagram vectors ----
+
+// txBatch accumulates one peer's outbound traffic through both batching
+// levels: frames are packed into the current datagram (sealed when the
+// next record would exceed the MTU budget), sealed datagrams collect into
+// a vector, and the vector is shipped with one sendmmsg call (Linux; one
+// sendto per datagram on the portable path). All buffers are preallocated,
+// so the steady-state send loop allocates nothing.
+type txBatch struct {
+	b      *Bridge
+	s      *sock
+	addr   *net.UDPAddr
+	budget int
+	bufs   [][]byte // fixed datagram slots, reused forever
+	dgrams [][]byte // sealed datagrams awaiting emit (alias bufs)
+	cur    []byte   // datagram being packed (= bufs[len(dgrams)])
+	mm     mmsgTx   // platform syscall state (empty off Linux)
+}
+
+// newTxBatch returns a send batch for one peer on its assigned socket.
+func (b *Bridge) newTxBatch(s *sock, addr *net.UDPAddr) *txBatch {
+	t := &txBatch{
+		b: b, s: s, addr: addr, budget: b.cfg.MTUBudget,
+		bufs:   make([][]byte, sendBatchDatagrams),
+		dgrams: make([][]byte, 0, sendBatchDatagrams),
+	}
+	for i := range t.bufs {
+		// Budget-sized packing plus headroom for one oversized record: a
+		// single frame above the budget (≤ MaxFrame) travels alone.
+		t.bufs[i] = make([]byte, 0, b.cfg.MTUBudget+frameHdrLen+MaxFrame)
+	}
+	t.cur = t.bufs[0]
+	t.initPlatform()
+	return t
+}
+
+// appendFrame packs one frame record into the current datagram, sealing
+// it first when the record would exceed the MTU budget (and emitting the
+// whole vector when the seal fills it). Oversize frames are rejected with
+// *FrameTooLargeError, leaving the batch unchanged.
+func (t *txBatch) appendFrame(frame []byte) error {
+	if len(t.cur) > 0 && len(t.cur)+frameHdrLen+len(frame) > t.budget {
+		t.seal()
+	}
+	cur, err := AppendFrame(t.cur, frame)
+	t.cur = cur
+	return err
+}
+
+// seal finishes the current datagram and starts the next slot, emitting
+// the vector when all slots are sealed.
+func (t *txBatch) seal() {
+	if len(t.cur) == 0 {
+		return
+	}
+	t.dgrams = append(t.dgrams, t.cur)
+	if len(t.dgrams) == len(t.bufs) {
+		t.emit()
+		return
+	}
+	t.cur = t.bufs[len(t.dgrams)][:0]
+}
+
+// flush seals the pending datagram and emits whatever the batch holds; the
+// proxy drain calls it at every burst boundary, so partial bursts (even a
+// single frame under light load) ship without delay.
+func (t *txBatch) flush() {
+	t.seal()
+	t.emit()
+}
+
+// emit ships the sealed datagram vector and resets the batch.
+func (t *txBatch) emit() {
+	if len(t.dgrams) == 0 {
+		return
+	}
+	t.b.datagramsOut.Add(uint64(len(t.dgrams)))
+	t.send()
+	t.dgrams = t.dgrams[:0]
+	t.cur = t.bufs[0][:0]
+}
+
+// sendPortable ships the sealed vector one sendto syscall per datagram —
+// the non-Linux transport and the Config.NoMMsg reference path. Like a
+// real NIC, send failures (e.g. a crashed peer's closed port) are not
+// reported upstream — the chain's repair path owns loss recovery.
+func (t *txBatch) sendPortable() {
+	for _, d := range t.dgrams {
+		t.b.sendSyscalls.Add(1)
+		_, _ = t.s.conn.WriteToUDP(d, t.addr)
+	}
+}
+
 // drainProxy tunnels frames the local replica sends to a proxy node,
-// coalescing each drained burst into MTU-budget-sized datagrams. RecvBurst
+// coalescing each drained burst through the two batching levels. RecvBurst
 // pays one wakeup per burst and returns immediately with whatever is
 // queued, so a partial burst (even a single frame under light load) is
 // flushed without delay — batching never adds a latency floor.
@@ -262,80 +448,130 @@ func (b *Bridge) drainProxy(proxy *netsim.Node) {
 	defer b.wg.Done()
 	ctl := netsim.NewBurstController(b.cfg.Burst, 0)
 	in := make([]netsim.Inbound, ctl.Max())
-	dgram := make([]byte, 0, b.cfg.MTUBudget+frameHdrLen+MaxFrame)
+	var t *txBatch
 	for {
 		n := proxy.RecvBurst(0, in[:ctl.Size()])
 		if n == 0 {
 			return
 		}
 		ctl.Observe(n, proxy.QueueLen(0))
-		addr := b.peerAddr(proxy.ID())
+		s, addr := b.peerSock(proxy.ID())
+		if addr == nil {
+			t = nil
+		} else if t == nil || t.addr != addr {
+			// First burst, or AddPeer re-registered the peer with a new
+			// address: ship anything deferred to the old address, then
+			// (re)build the batch and its packed sockaddr.
+			if t != nil {
+				t.flush()
+			}
+			t = b.newTxBatch(s, addr)
+		}
 		for i := 0; i < n; i++ {
 			frame := in[i].Frame
 			in[i] = netsim.Inbound{}
-			if addr == nil {
+			if t == nil {
 				netsim.ReleaseFrame(frame)
 				continue
 			}
-			if len(dgram) > 0 && len(dgram)+frameHdrLen+len(frame) > b.cfg.MTUBudget {
-				b.writeDatagram(dgram, addr)
-				dgram = dgram[:0]
-			}
-			var err error
-			if dgram, err = AppendFrame(dgram, frame); err != nil {
+			if err := t.appendFrame(frame); err != nil {
 				b.oversizeDrops.Add(1)
 			} else {
 				b.framesOut.Add(1)
 			}
 			netsim.ReleaseFrame(frame)
 		}
-		if len(dgram) > 0 {
-			b.writeDatagram(dgram, addr)
-			dgram = dgram[:0]
+		// NAPI-style flush discipline: while the proxy queue is still
+		// backlogged the next burst arrives immediately, so let sealed
+		// datagrams accumulate into a fuller sendmmsg vector (emit fires
+		// on its own when the vector fills). The moment the queue runs
+		// dry, ship everything — light load keeps per-frame latency.
+		// Burst=1 asks for the per-packet transport, so it always
+		// flushes: one frame, one datagram, one syscall.
+		if t != nil && (b.cfg.Burst == 1 || proxy.QueueLen(0) == 0) {
+			t.flush()
 		}
 	}
 }
 
-// writeDatagram sends one packed datagram to a peer. Like a real NIC, send
-// failures (e.g. a crashed peer's closed port) are not reported upstream —
-// the chain's repair path owns loss recovery.
-func (b *Bridge) writeDatagram(dgram []byte, addr *net.UDPAddr) {
-	b.datagramsOut.Add(1)
-	_, _ = b.udp.WriteToUDP(dgram, addr)
+// ---- receive path: datagram vectors → frames → one SendBurst ----
+
+// rxBatch holds one receive goroutine's preallocated datagram vector: one
+// MaxDatagram buffer per slot (so a read can never truncate a well-formed
+// datagram), per-slot lengths, and per-slot kernel-truncation flags.
+type rxBatch struct {
+	bufs   [][]byte
+	lens   []int
+	ktrunc []bool
+	mm     mmsgRx // platform syscall state (empty off Linux)
 }
 
-// udpLoop is the tunnel ingress: it blocks for one datagram, then drains
-// whatever else the socket already holds (non-blocking, Linux; see
-// drain_linux.go) until a burst of frames is assembled, and injects the
-// whole batch into the local node with one Fabric.SendBurst — the mirror
-// of netsim.RecvBurst's one-wakeup-per-burst discipline.
-func (b *Bridge) udpLoop() {
+// newRxBatch sizes a receive vector for this bridge's drain mode.
+func (b *Bridge) newRxBatch() *rxBatch {
+	k := b.rxDatagramBudget()
+	r := &rxBatch{bufs: make([][]byte, k), lens: make([]int, k), ktrunc: make([]bool, k)}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, MaxDatagram)
+	}
+	return r
+}
+
+// portableRxBudget bounds how many already-queued datagrams the portable
+// receive loop drains per wakeup (and thus its buffer footprint); each
+// datagram can itself carry a full burst, so a small bound suffices.
+func (b *Bridge) portableRxBudget() int {
+	k := b.cfg.maxBurst()
+	if k > maxDrainDatagrams {
+		k = maxDrainDatagrams
+	}
+	return k
+}
+
+// maxDrainDatagrams is the portable receive path's per-wakeup drain bound,
+// unchanged from the pre-mmsg transport.
+const maxDrainDatagrams = 8
+
+// readBurstPortable is the one-datagram-per-syscall receive path: block
+// for one datagram, then drain whatever else the socket already holds
+// (non-blocking, Linux; see drain_linux.go). It reports the number of
+// datagrams read and false when the socket is closed.
+func (b *Bridge) readBurstPortable(s *sock, r *rxBatch) (int, bool) {
+	b.recvSyscalls.Add(1)
+	n, _, err := s.conn.ReadFromUDP(r.bufs[0])
+	if err != nil {
+		return 0, false
+	}
+	r.lens[0] = n
+	cnt := 1
+	for cnt < len(r.bufs) {
+		m, ok := b.tryReadMore(s, r.bufs[cnt])
+		if !ok {
+			break
+		}
+		r.lens[cnt] = m
+		cnt++
+	}
+	return cnt, true
+}
+
+// udpLoop is one socket's tunnel ingress: it blocks until the socket holds
+// datagrams, reads a whole vector of them (one recvmmsg on Linux), unpacks
+// every frame, and injects the batch into the local node with one
+// Fabric.SendBurst — the mirror of netsim.RecvBurst's one-wakeup-per-burst
+// discipline. Each SO_REUSEPORT socket runs its own udpLoop, so the
+// kernel's flow hash fans inbound peers across goroutines.
+func (b *Bridge) udpLoop(s *sock) {
 	defer b.wg.Done()
-	// One receive buffer per datagram that can contribute to a burst:
-	// unpacked frames alias their datagram's buffer until SendBurst
-	// copies them, so each drained datagram needs its own.
-	maxBurst := b.cfg.maxBurst()
-	nbufs := maxBurst
-	if nbufs > maxDrainDatagrams {
-		nbufs = maxDrainDatagrams
-	}
-	bufs := make([][]byte, nbufs)
-	for i := range bufs {
-		bufs[i] = make([]byte, MaxDatagram)
-	}
-	frames := make([][]byte, 0, maxBurst)
+	r := b.newRxBatch()
+	frames := make([][]byte, 0, b.cfg.maxBurst())
 	for {
-		n, _, err := b.udp.ReadFromUDP(bufs[0])
-		if err != nil {
+		n, ok := b.readBurst(s, r)
+		if !ok {
 			return
 		}
-		frames = b.unpack(frames[:0], bufs[0][:n])
-		for i := 1; i < nbufs && len(frames) < maxBurst; i++ {
-			n, ok := b.tryReadMore(bufs[i])
-			if !ok {
-				break
-			}
-			frames = b.unpack(frames, bufs[i][:n])
+		frames = frames[:0]
+		for i := 0; i < n; i++ {
+			frames = b.unpack(frames, r.bufs[i][:r.lens[i]], r.ktrunc[i])
 		}
 		if len(frames) > 0 {
 			b.framesIn.Add(uint64(len(frames)))
@@ -344,18 +580,16 @@ func (b *Bridge) udpLoop() {
 	}
 }
 
-// maxDrainDatagrams bounds how many already-queued datagrams the receive
-// loop drains per wakeup (and thus its buffer footprint); each datagram
-// can itself carry a full burst, so a small bound suffices.
-const maxDrainDatagrams = 8
-
 // unpack splits one received datagram into frames, appending them to dst.
-func (b *Bridge) unpack(dst [][]byte, dgram []byte) [][]byte {
+// kernelTrunc marks a datagram the kernel cut short (MSG_TRUNC): its
+// complete leading frames are still delivered, and the damage is counted
+// once alongside in-record truncation (ErrTruncatedDatagram).
+func (b *Bridge) unpack(dst [][]byte, dgram []byte, kernelTrunc bool) [][]byte {
 	b.datagramsIn.Add(1)
 	err := SplitFrames(dgram, func(frame []byte) {
 		dst = append(dst, frame)
 	})
-	if err != nil {
+	if err != nil || kernelTrunc {
 		b.truncatedDatagrams.Add(1)
 	}
 	return dst
@@ -366,7 +600,9 @@ func (b *Bridge) unpack(dst [][]byte, dgram []byte) [][]byte {
 func (b *Bridge) Close() {
 	b.stopOnce.Do(func() {
 		close(b.stopped)
-		b.udp.Close()
+		for _, s := range b.socks {
+			s.conn.Close()
+		}
 		b.tcp.Close()
 		b.mu.Lock()
 		ids := make([]netsim.NodeID, 0, len(b.peers))

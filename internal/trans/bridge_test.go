@@ -26,8 +26,9 @@ func ringID(i int) netsim.NodeID { return netsim.NodeID(fmt.Sprintf("ftc-r%d", i
 // chainOpts tunes the multi-process test harness.
 type chainOpts struct {
 	egressAddr string
-	burst      int                        // 0: defaults
-	newMB      func(i int) core.Middlebox // nil: monitor everywhere
+	burst      int                         // 0: defaults
+	newMB      func(i int) core.Middlebox  // nil: monitor everywhere
+	transCfg   func(i int, base Config) Config // nil: base config everywhere
 }
 
 // startChainProcs boots an n-replica chain where every replica lives in its
@@ -68,7 +69,11 @@ func startChainProcs(t *testing.T, n int, opts chainOpts) ([]*proc, core.Config)
 			Index: i, Sim: local, Fabric: fabric,
 			RingIDs: ringIDs, Egress: egressID, MB: mb,
 		})
-		bridge, err := NewBridge(fabric, local.ID(), "", "", nil, Config{Burst: cfg.Burst})
+		tcfg := Config{Burst: cfg.Burst}
+		if opts.transCfg != nil {
+			tcfg = opts.transCfg(i, tcfg)
+		}
+		bridge, err := NewBridge(fabric, local.ID(), "", "", nil, tcfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,6 +225,37 @@ func TestBridgeChainOverRealSockets(t *testing.T) {
 			t.Fatalf("cross-process replication lag: head=%d follower=%d total=%d", hc, fc, total)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSocketBufTruthStats checks socket-buffer truth logging: Stats must
+// report the kernel's effective SO_RCVBUF/SO_SNDBUF, not the requested
+// Config.SocketBuf (on Linux the readback is roughly double a granted
+// request, and silently clamped requests diverge arbitrarily).
+func TestSocketBufTruthStats(t *testing.T) {
+	fabric := netsim.New(netsim.Config{})
+	defer fabric.Stop()
+	fabric.AddNode("n", netsim.NodeConfig{})
+	b, err := NewBridge(fabric, "n", "", "", nil, Config{SocketBuf: 256 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	s := b.Stats()
+	if s.Sockets < 1 {
+		t.Fatalf("Stats.Sockets = %d", s.Sockets)
+	}
+	if !reuseportSupported {
+		t.Skip("no socket-buffer readback on this platform")
+	}
+	if s.EffRcvBuf <= 0 || s.EffSndBuf <= 0 {
+		t.Fatalf("effective socket buffers not read back: rcv=%d snd=%d",
+			s.EffRcvBuf, s.EffSndBuf)
+	}
+	// The kernel grants at least its floor (SOCK_MIN_RCVBUF ~2KiB); a
+	// 256KiB request on default rmem_max caps still lands well above it.
+	if s.EffRcvBuf < 2048 || s.EffSndBuf < 2048 {
+		t.Fatalf("implausible effective buffers: rcv=%d snd=%d", s.EffRcvBuf, s.EffSndBuf)
 	}
 }
 

@@ -142,6 +142,14 @@ func waitBridgeConverged(t *testing.T, procs []*proc, cfg core.Config, timeout t
 // queues behind them, the delivered set is then deterministic — all n.
 func runBridgeWorkload(t *testing.T, burst, n int) ([]int, string) {
 	t.Helper()
+	return runBridgeWorkloadOpts(t, burst, n, nil)
+}
+
+// runBridgeWorkloadOpts is runBridgeWorkload with a per-process transport
+// config hook, so equivalence suites can pit mmsg, NoMMsg, and multi-socket
+// bridges against each other in one chain.
+func runBridgeWorkloadOpts(t *testing.T, burst, n int, transCfg func(i int, base Config) Config) ([]int, string) {
+	t.Helper()
 	sinkConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +161,7 @@ func runBridgeWorkload(t *testing.T, burst, n int) ([]int, string) {
 		egressAddr: sinkConn.LocalAddr().String(),
 		burst:      burst,
 		newMB:      flowChainMBs,
+		transCfg:   transCfg,
 	})
 
 	ingressAddr, _ := procs[0].bridge.Addrs()
@@ -220,6 +229,46 @@ func TestBridgeBurstEquivalence(t *testing.T) {
 	}
 	if dig1 != dig32 {
 		t.Fatalf("state digests diverge:\nburst=1:\n%s\nburst=32:\n%s", dig1, dig32)
+	}
+}
+
+// TestBridgeMixedMMsgPortableDeployment runs the burst-equivalence workload
+// through a deliberately heterogeneous chain — one replica on the default
+// mmsg multi-socket transport, one forced onto the portable NoMMsg path,
+// one on mmsg with an explicit 2-socket SO_REUSEPORT group — and requires
+// the same delivered set and the same converged state digest as a uniform
+// default-transport chain. This is the wire-compatibility guarantee: mmsg
+// batching changes syscalls, never bytes, so mixed deployments (e.g. a
+// rolling upgrade, or Linux and non-Linux hosts in one chain) interoperate.
+func TestBridgeMixedMMsgPortableDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sockets; skipped in -short")
+	}
+	const n = 240
+	mixed := func(i int, base Config) Config {
+		switch i % 3 {
+		case 0: // default mmsg, GOMAXPROCS sockets
+		case 1:
+			base.NoMMsg = true
+			base.Sockets = 1
+		case 2:
+			base.Sockets = 2
+		}
+		return base
+	}
+	idsMixed, digMixed := runBridgeWorkloadOpts(t, 32, n, mixed)
+	idsPure, digPure := runBridgeWorkloadOpts(t, 32, n, nil)
+	if len(idsMixed) != len(idsPure) {
+		t.Fatalf("delivered %d packets mixed, %d pure", len(idsMixed), len(idsPure))
+	}
+	for i := range idsPure {
+		if idsMixed[i] != idsPure[i] {
+			t.Fatalf("delivered sets diverge at %d: mixed has %d, pure has %d",
+				i, idsMixed[i], idsPure[i])
+		}
+	}
+	if digMixed != digPure {
+		t.Fatalf("state digests diverge:\nmixed:\n%s\npure:\n%s", digMixed, digPure)
 	}
 }
 

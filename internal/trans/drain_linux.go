@@ -6,24 +6,21 @@ import "syscall"
 
 // tryReadMore performs one non-blocking read of an already-queued datagram
 // into p, reporting its length and whether one was available. It is the
-// drain half of the receive loop's one-wakeup-per-burst discipline: after
-// the blocking read returns the first datagram, MSG_DONTWAIT recvfrom
-// calls (recvmmsg's portable little sibling — golang.org/x/net's
-// ReadBatch is not a dependency of this repo) scoop up whatever else the
-// socket buffer holds without ever sleeping, so an idle socket costs
-// nothing and a busy one is drained in a single wakeup.
-func (b *Bridge) tryReadMore(p []byte) (int, bool) {
-	b.rawOnce.Do(func() {
-		// A failure here (exotic socket state) just disables draining;
-		// the loop still moves one datagram per wakeup.
-		b.rawUDP, _ = b.udp.SyscallConn()
-	})
-	if b.rawUDP == nil {
+// drain half of the *portable* (Config.NoMMsg) receive path's one-wakeup-
+// per-burst discipline: after the blocking read returns the first
+// datagram, MSG_DONTWAIT recvfrom calls scoop up whatever else the socket
+// buffer holds without ever sleeping. The default Linux path batches far
+// harder with recvmmsg (mmsg_linux.go); this is kept as the faithful PR 3
+// reference transport. Every probe — including the final EAGAIN — is a
+// real syscall and is counted as one.
+func (b *Bridge) tryReadMore(s *sock, p []byte) (int, bool) {
+	if s.raw == nil {
 		return 0, false
 	}
 	var n int
 	var serr error
-	err := b.rawUDP.Read(func(fd uintptr) bool {
+	err := s.raw.Read(func(fd uintptr) bool {
+		b.recvSyscalls.Add(1)
 		n, _, serr = syscall.Recvfrom(int(fd), p, syscall.MSG_DONTWAIT)
 		// Always done: EAGAIN means "drained", not "wait for more".
 		return true

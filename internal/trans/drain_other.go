@@ -5,8 +5,8 @@ package trans
 // tryReadMore is the non-Linux stub of the receive loop's non-blocking
 // socket drain: it never reports a datagram, so each wakeup moves exactly
 // one datagram. Senders still coalesce a full burst into that datagram, so
-// the syscall amortization survives; only the cross-datagram drain is a
-// Linux (MSG_DONTWAIT) specialization.
-func (b *Bridge) tryReadMore(p []byte) (int, bool) {
+// the packing-level syscall amortization survives; only the cross-datagram
+// drain (and the recvmmsg vector path above it) is a Linux specialization.
+func (b *Bridge) tryReadMore(s *sock, p []byte) (int, bool) {
 	return 0, false
 }

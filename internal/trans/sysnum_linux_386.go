@@ -1,0 +1,13 @@
+//go:build linux && 386
+
+package trans
+
+import "syscall"
+
+// sysSENDMMSG and sysRECVMMSG are the linux/386 syscall numbers. Go's
+// frozen syscall tables predate sendmmsg (kernel 3.0) on this GOARCH, so
+// its number is spelled out; recvmmsg comes from the table.
+const (
+	sysSENDMMSG = 345
+	sysRECVMMSG = syscall.SYS_RECVMMSG
+)

@@ -1,0 +1,13 @@
+//go:build linux && amd64
+
+package trans
+
+import "syscall"
+
+// sysSENDMMSG and sysRECVMMSG are the linux/amd64 syscall numbers. Go's
+// frozen syscall tables predate sendmmsg (kernel 3.0) on this GOARCH, so
+// its number is spelled out; recvmmsg comes from the table.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = syscall.SYS_RECVMMSG
+)

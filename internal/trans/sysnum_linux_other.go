@@ -1,0 +1,13 @@
+//go:build linux && !amd64 && !386
+
+package trans
+
+import "syscall"
+
+// sysSENDMMSG and sysRECVMMSG come straight from Go's syscall tables on
+// every linux GOARCH except amd64 and 386, whose frozen tables predate
+// sendmmsg (see the sibling sysnum files).
+const (
+	sysSENDMMSG = syscall.SYS_SENDMMSG
+	sysRECVMMSG = syscall.SYS_RECVMMSG
+)
