@@ -20,10 +20,14 @@ vet:
 
 # Doc-comment lint: the deployment-path packages must keep every exported
 # symbol documented (the README walkthrough links to their godoc), and so
-# must the chaos harness and the orchestrator it drives (DESIGN.md §10
-# links to their invariant and phase definitions).
+# must the chaos harness, the orchestrator it drives (DESIGN.md §10), the
+# experiment and middlebox catalogs, and the fleet broker with its YAML
+# config surface — where every numeric scenario knob must also name its
+# unit (Mbps, ms, ...) in the field's doc comment. Package comments must
+# open canonically ("Package <name> ..." / "Command ...").
 doclint:
-	$(GO) run scripts/doclint.go internal/state internal/trans internal/chaos internal/orch cmd/ftcd cmd/ftcgen
+	$(GO) run scripts/doclint.go internal/state internal/trans internal/chaos internal/orch \
+		internal/exp internal/mbox internal/fleet cmd/ftcd cmd/ftcgen cmd/ftclab
 
 # Cross-compile gate: the transport's Linux fast path (sendmmsg/recvmmsg,
 # SO_REUSEPORT) lives behind build tags with portable fallbacks; compiling
@@ -37,9 +41,10 @@ crossbuild:
 # goroutines: the pooled-frame ownership rules live here. internal/trans
 # covers the burst tunnel (packing, socket drain, burst injection) and its
 # burst-equivalence/crash tests; internal/state covers the swiss-table
-# partitions and TTL wheels that every engine and the expiry driver share.
+# partitions and TTL wheels that every engine and the expiry driver share;
+# internal/fleet covers the broker's TTL-expiry-vs-crash-recovery locking.
 race:
-	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/... ./internal/orch/... ./internal/state/...
+	$(GO) test -race ./internal/netsim/... ./internal/core/... ./internal/trans/... ./internal/orch/... ./internal/state/... ./internal/fleet/...
 
 # Scheduler stress gate: the burst/steal equivalence proofs (identical
 # delivered sets + state digests across burst 1/32/adaptive and steal

@@ -6,6 +6,7 @@
 //
 //	ftclab [-quick] [-runtime 1s] [experiment ...]
 //	ftclab -chaos-seed N
+//	ftclab -fleet scenario.yaml [-trace]
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 ablate. With no arguments, all experiments run in order.
@@ -14,6 +15,14 @@
 // schedule `go test ./internal/chaos -chaos.seed=N` runs) with the event
 // trace on stderr, and exits 1 if any invariant is violated — the debugging
 // entry point for a seed that failed in CI.
+//
+// -fleet replays a multi-chain scenario file (see scenarios/) through the
+// chain broker: chains arrive, pass admission control against the shared
+// server pool, carry steered traffic, survive scheduled server crashes, and
+// are reclaimed on TTL expiry. The fleet tables print on stdout; the exit
+// code is 1 if the run reports any violation (wedged chains, divergent
+// stores, unrestored replicas, SLA or downtime overruns). -trace streams
+// the broker's event log to stderr.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 
 	"github.com/ftsfc/ftc/internal/chaos"
 	"github.com/ftsfc/ftc/internal/exp"
+	"github.com/ftsfc/ftc/internal/fleet"
 )
 
 func main() {
@@ -32,10 +42,15 @@ func main() {
 	runTime := flag.Duration("runtime", time.Second, "measurement window per data point")
 	flows := flag.Int("flows", 128, "generator flows")
 	chaosSeed := flag.Int64("chaos-seed", 0, "replay this chaos campaign seed with a verbose trace and exit")
+	fleetPath := flag.String("fleet", "", "replay this fleet scenario YAML through the chain broker and exit")
+	traceFlag := flag.Bool("trace", false, "with -fleet: stream the broker event log to stderr")
 	flag.Parse()
 
 	if *chaosSeed != 0 {
 		os.Exit(replayChaos(*chaosSeed))
+	}
+	if *fleetPath != "" {
+		os.Exit(replayFleet(*fleetPath, *traceFlag))
 	}
 
 	p := exp.Params{RunTime: *runTime, Flows: *flows}
@@ -76,6 +91,37 @@ func replayChaos(seed int64) int {
 	if res.Failed() {
 		for _, v := range res.Violations {
 			fmt.Fprintf(os.Stderr, "ftclab: seed %d: %s\n", seed, v)
+		}
+		return 1
+	}
+	return 0
+}
+
+// replayFleet runs one scenario file through the chain broker, prints the
+// fleet tables, and returns the process exit code (1 on any violation).
+func replayFleet(path string, trace bool) int {
+	scn, err := fleet.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftclab: fleet: %v\n", err)
+		return 1
+	}
+	opt := fleet.Options{}
+	if trace {
+		opt.Trace = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "fleet: "+format+"\n", args...)
+		}
+	}
+	rep, err := fleet.Run(scn, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftclab: fleet: %v\n", err)
+		return 1
+	}
+	for _, t := range exp.FleetTables(rep) {
+		fmt.Println(t)
+	}
+	if v := rep.Violations(); len(v) > 0 {
+		for _, msg := range v {
+			fmt.Fprintf(os.Stderr, "ftclab: fleet: VIOLATION: %s\n", msg)
 		}
 		return 1
 	}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/fleet"
+)
+
+// FleetTables renders one fleet run's report as printable tables: the
+// headline summary, the per-chain lifecycle outcomes, and the per-server
+// pool utilization. ftclab -fleet prints these; EXPERIMENTS.md's fleet
+// section is produced from them.
+func FleetTables(rep *fleet.Report) []*Table {
+	sum := &Table{
+		ID:     "Fleet",
+		Title:  fmt.Sprintf("scenario %q summary", rep.Scenario),
+		Header: []string{"chains", "admitted", "rejected", "accept", "recoveries", "sla_viol", "downtime_viol", "conv_fail", "replica_only_peak", "steered", "steer_miss", "elapsed"},
+	}
+	sum.AddRow(
+		fmt.Sprint(rep.Total), fmt.Sprint(rep.Admitted), fmt.Sprint(rep.Rejected),
+		fmt.Sprintf("%.2f", rep.AcceptanceRatio), fmt.Sprint(rep.Recoveries),
+		fmt.Sprint(rep.SLAViolations), fmt.Sprint(rep.DowntimeViolations),
+		fmt.Sprint(rep.ConvergenceFailures), fmt.Sprint(rep.ReplicaOnlyPeak),
+		fmt.Sprint(rep.SteerForwarded), fmt.Sprint(rep.SteerMisses),
+		rep.Elapsed.Round(time.Millisecond).String(),
+	)
+	if rep.TimedOut {
+		sum.Notes = append(sum.Notes, "RUN TIMED OUT: some chains never reached a terminal state")
+	}
+
+	chains := &Table{
+		ID:     "Fleet chains",
+		Title:  "per-chain lifecycle outcomes (arrival order)",
+		Header: []string{"chain", "state", "demand", "ring", "servers", "sent", "delivered", "expired", "recov", "downtime", "p99", "sla", "notes"},
+	}
+	for _, c := range rep.Chains {
+		note := c.RejectReason
+		if c.ConvergeErr != "" {
+			note = "convergence: " + c.ConvergeErr
+		}
+		sla := "ok"
+		if c.SLAViolated {
+			sla = "VIOLATED"
+		}
+		if c.State == fleet.StateRejected {
+			sla = "-"
+		}
+		chains.AddRow(
+			c.Name, c.State.String(),
+			fmt.Sprintf("%.0f Mbps", c.DemandMbps), fmt.Sprint(c.RingSize),
+			fmt.Sprint([]string(c.Servers)),
+			fmt.Sprint(c.Sent), fmt.Sprint(c.Delivered), fmt.Sprint(c.Deletions),
+			fmt.Sprint(c.Recoveries), c.Downtime.Round(time.Microsecond).String(),
+			c.LatencyP99.Round(time.Microsecond).String(), sla, note,
+		)
+	}
+
+	servers := &Table{
+		ID:     "Fleet pool",
+		Title:  "per-server peak utilization (reservation ratios)",
+		Header: []string{"server", "peak_cpu", "peak_bw", "end_cpu", "end_bw", "chains", "overbooks", "down"},
+	}
+	for _, s := range rep.Servers {
+		servers.AddRow(
+			s.Name,
+			fmt.Sprintf("%.2f", s.PeakCPU), fmt.Sprintf("%.2f", s.PeakBW),
+			fmt.Sprintf("%.2f", s.CPU), fmt.Sprintf("%.2f", s.BW),
+			fmt.Sprint(s.Chains), fmt.Sprint(s.Overbooks), fmt.Sprint(s.Down),
+		)
+	}
+	return []*Table{sum, chains, servers}
+}

@@ -1,0 +1,352 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Server is one machine of the shared pool. It hosts ring replicas of any
+// number of chains — a server carrying middleboxes of chain A doubles as a
+// replica host for chain B, which is the paper's "no dedicated replica
+// servers" claim at fleet scale. Capacity is two-dimensional: CPU units
+// (one per hosted replica) and NIC bandwidth in Mbps (each hosted replica
+// of a chain reserves the chain's full demand, since every hop carries the
+// chain's traffic plus its replication writes).
+type Server struct {
+	// Name identifies the server ("s0", "s1", …).
+	Name string
+	// CPUCap is the server's processing capacity in CPU units.
+	CPUCap int
+	// BWCapMbps is the server's NIC capacity in Mbps.
+	BWCapMbps float64
+
+	usedCPU   int
+	usedBW    float64
+	peakCPU   int
+	peakBW    float64
+	down      bool
+	overbooks int
+	// hosts maps chain name → ring indices this server carries.
+	hosts map[string][]int
+	// mbHosts counts hosted positions that carry a middlebox (ring index <
+	// len(chain middleboxes)) — the head positions, as opposed to extension
+	// (replica-only) positions.
+	mbHosts int
+}
+
+// Utilization reports the server's current and peak reservation ratios
+// (CPU and bandwidth, each in 0..1; overcommitted servers exceed 1).
+func (s *Server) Utilization() (cpu, bw, peakCPU, peakBW float64) {
+	if s.CPUCap > 0 {
+		cpu = float64(s.usedCPU) / float64(s.CPUCap)
+		peakCPU = float64(s.peakCPU) / float64(s.CPUCap)
+	}
+	if s.BWCapMbps > 0 {
+		bw = s.usedBW / s.BWCapMbps
+		peakBW = s.peakBW / s.BWCapMbps
+	}
+	return
+}
+
+// Chains lists the distinct chains currently hosted.
+func (s *Server) Chains() int { return len(s.hosts) }
+
+// Down reports whether the server has been crashed out of the pool.
+func (s *Server) Down() bool { return s.down }
+
+// replicaOnly reports whether the server hosts at least one ring position
+// but no middlebox (head) position of any chain — a dedicated replica
+// server, which fleet placement works to avoid.
+func (s *Server) replicaOnly() bool {
+	return len(s.hosts) > 0 && s.mbHosts == 0
+}
+
+// reserve books one ring position of chain name on the server.
+func (s *Server) reserve(name string, ringIdx int, cpu int, bwMbps float64, isMB bool) {
+	s.usedCPU += cpu
+	s.usedBW += bwMbps
+	if s.usedCPU > s.peakCPU {
+		s.peakCPU = s.usedCPU
+	}
+	if s.usedBW > s.peakBW {
+		s.peakBW = s.usedBW
+	}
+	if s.usedCPU > s.CPUCap || s.usedBW > s.BWCapMbps {
+		s.overbooks++
+	}
+	s.hosts[name] = append(s.hosts[name], ringIdx)
+	if isMB {
+		s.mbHosts++
+	}
+}
+
+// Assignment names one hosted ring position: chain, ring index, and
+// whether the position carries a middlebox (as opposed to an extension
+// replica).
+type Assignment struct {
+	// Chain is the hosted chain's name.
+	Chain string
+	// RingIndex is the hosted ring position.
+	RingIndex int
+	// IsMiddlebox reports whether the position hosts a middlebox head
+	// (ring index < chain length) rather than an extension replica.
+	IsMiddlebox bool
+}
+
+// Pool is the shared server pool all chains are placed on. It is not
+// concurrency-safe on its own; the Fleet serializes access under its lock.
+type Pool struct {
+	servers []*Server
+	byName  map[string]*Server
+	// replicaOnlyPeak is the worst count of replica-only servers ever
+	// observed after a placement or reassignment — the fleet-level health
+	// metric for the "no dedicated replica servers" property.
+	replicaOnlyPeak int
+	// cpuPerReplica is the CPU units one ring replica consumes (default 1).
+	cpuPerReplica int
+}
+
+// NewPool builds n identical servers named s0..s(n-1).
+func NewPool(n, cpuPerServer int, bwCapMbps float64) *Pool {
+	p := &Pool{byName: make(map[string]*Server), cpuPerReplica: 1}
+	for i := 0; i < n; i++ {
+		s := &Server{
+			Name:      fmt.Sprintf("s%d", i),
+			CPUCap:    cpuPerServer,
+			BWCapMbps: bwCapMbps,
+			hosts:     make(map[string][]int),
+		}
+		p.servers = append(p.servers, s)
+		p.byName[s.Name] = s
+	}
+	return p
+}
+
+// Servers returns the pool's servers in name order.
+func (p *Pool) Servers() []*Server { return p.servers }
+
+// Server returns the named server, or nil.
+func (p *Pool) Server(name string) *Server { return p.byName[name] }
+
+// Placement maps a chain's ring positions to server names.
+type Placement []string
+
+// fits reports whether server s can take one more replica of the given
+// demand within capacity.
+func (p *Pool) fits(s *Server, extraCPU int, demand float64) bool {
+	return !s.down && s.usedCPU+extraCPU <= s.CPUCap && s.usedBW+demand <= s.BWCapMbps
+}
+
+// Admit runs admission control and placement for one chain: it needs
+// RingSize distinct up servers, each with at least cpuPerReplica free CPU
+// units and the chain's full bandwidth demand free. On success the
+// capacity is reserved and the placement returned; on failure nothing is
+// reserved and the error names the binding constraint.
+//
+// Placement policy (DESIGN.md §12): positions are placed head-first.
+// Middlebox positions spread by worst-fit (most free bandwidth, then most
+// free CPU, then name for determinism). Extension (replica-only) positions
+// instead prefer servers already hosting middlebox positions of other
+// chains, so no server becomes a dedicated replica server; ties fall back
+// to the same worst-fit order. A chain never places two ring positions on
+// one server — one server crash must cost it at most one replica (its
+// f-failure envelope).
+func (p *Pool) Admit(spec ChainSpec) (Placement, error) {
+	m := spec.RingSize()
+	demand := spec.Demand()
+	var candidates []*Server
+	for _, s := range p.servers {
+		if p.fits(s, p.cpuPerReplica, demand) {
+			candidates = append(candidates, s)
+		}
+	}
+	if len(candidates) < m {
+		return nil, fmt.Errorf("fleet: admission: chain %s needs %d servers with %d cpu + %.0f Mbps free, only %d qualify",
+			spec.Name, m, p.cpuPerReplica, demand, len(candidates))
+	}
+	worstFit := func(a, b *Server) bool {
+		fa, fb := a.BWCapMbps-a.usedBW, b.BWCapMbps-b.usedBW
+		if fa != fb {
+			return fa > fb
+		}
+		ca, cb := a.CPUCap-a.usedCPU, b.CPUCap-b.usedCPU
+		if ca != cb {
+			return ca > cb
+		}
+		return a.Name < b.Name
+	}
+	placement := make(Placement, m)
+	taken := make(map[string]bool, m)
+	for idx := 0; idx < m; idx++ {
+		isMB := idx < len(spec.Middleboxes)
+		best := -1
+		for ci, s := range candidates {
+			if taken[s.Name] {
+				continue
+			}
+			if best < 0 {
+				best = ci
+				continue
+			}
+			b := candidates[best]
+			if !isMB {
+				// Cross-chain replica sharing: an extension replica lands on
+				// a server that already earns its keep hosting middleboxes.
+				sh, bh := s.mbHosts > 0, b.mbHosts > 0
+				if sh != bh {
+					if sh {
+						best = ci
+					}
+					continue
+				}
+			}
+			if worstFit(s, b) {
+				best = ci
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("fleet: admission: chain %s: no distinct server left for ring position %d", spec.Name, idx)
+		}
+		placement[idx] = candidates[best].Name
+		taken[candidates[best].Name] = true
+	}
+	for idx, name := range placement {
+		p.byName[name].reserve(spec.Name, idx, p.cpuPerReplica, demand, idx < len(spec.Middleboxes))
+	}
+	p.noteReplicaOnly()
+	return placement, nil
+}
+
+// Release frees every reservation chain name holds across the pool
+// (teardown of a reclaimed chain, or the surviving reservations of a chain
+// whose server crashed).
+func (p *Pool) Release(spec ChainSpec) {
+	demand := spec.Demand()
+	for _, s := range p.servers {
+		idxs, ok := s.hosts[spec.Name]
+		if !ok {
+			continue
+		}
+		for _, idx := range idxs {
+			s.usedCPU -= p.cpuPerReplica
+			s.usedBW -= demand
+			if idx < len(spec.Middleboxes) {
+				s.mbHosts--
+			}
+		}
+		s.snapToZero()
+		delete(s.hosts, spec.Name)
+	}
+}
+
+// snapToZero clears the float residue that repeated demand additions and
+// subtractions leave in usedBW, so an empty server reports exactly 0 and
+// exact-residual admission (free == demand) keeps working after churn.
+func (s *Server) snapToZero() {
+	if s.usedBW != 0 && math.Abs(s.usedBW) < 1e-6 {
+		s.usedBW = 0
+	}
+}
+
+// CrashServer marks a server down and returns the assignments it was
+// hosting, releasing their reservations (the replicas are dead; their
+// replacements will reserve elsewhere via Reassign). Returns nil if the
+// server is unknown or already down.
+func (p *Pool) CrashServer(name string, specs map[string]ChainSpec) []Assignment {
+	s := p.byName[name]
+	if s == nil || s.down {
+		return nil
+	}
+	s.down = true
+	var out []Assignment
+	for chain, idxs := range s.hosts {
+		spec, ok := specs[chain]
+		for _, idx := range idxs {
+			isMB := ok && idx < len(spec.Middleboxes)
+			out = append(out, Assignment{Chain: chain, RingIndex: idx, IsMiddlebox: isMB})
+			s.usedCPU -= p.cpuPerReplica
+			if ok {
+				s.usedBW -= spec.Demand()
+			}
+			if isMB {
+				s.mbHosts--
+			}
+		}
+		delete(s.hosts, chain)
+	}
+	s.snapToZero()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chain != out[j].Chain {
+			return out[i].Chain < out[j].Chain
+		}
+		return out[i].RingIndex < out[j].RingIndex
+	})
+	return out
+}
+
+// Reassign places chain name's ring position idx on a new server after a
+// crash, excluding servers the chain already occupies (the per-chain
+// anti-affinity invariant). It prefers servers with room; if none fits, it
+// overcommits the least-loaded up server rather than leaving the chain
+// under-replicated — availability over capacity, recorded in the server's
+// overbook counter. Returns the chosen server name, or "" if the pool has
+// no up server at all.
+func (p *Pool) Reassign(spec ChainSpec, idx int) string {
+	demand := spec.Demand()
+	var fit, any *Server
+	better := func(cur, alt *Server) bool {
+		if cur == nil {
+			return true
+		}
+		fa := alt.BWCapMbps - alt.usedBW
+		fc := cur.BWCapMbps - cur.usedBW
+		if fa != fc {
+			return fa > fc
+		}
+		return alt.Name < cur.Name
+	}
+	for _, s := range p.servers {
+		if s.down {
+			continue
+		}
+		if _, hasChain := s.hosts[spec.Name]; hasChain {
+			continue
+		}
+		if better(any, s) {
+			any = s
+		}
+		if p.fits(s, p.cpuPerReplica, demand) && better(fit, s) {
+			fit = s
+		}
+	}
+	chosen := fit
+	if chosen == nil {
+		chosen = any
+	}
+	if chosen == nil {
+		return ""
+	}
+	chosen.reserve(spec.Name, idx, p.cpuPerReplica, demand, idx < len(spec.Middleboxes))
+	p.noteReplicaOnly()
+	return chosen.Name
+}
+
+// noteReplicaOnly refreshes the replica-only peak after a reservation
+// change.
+func (p *Pool) noteReplicaOnly() {
+	n := 0
+	for _, s := range p.servers {
+		if !s.down && s.replicaOnly() {
+			n++
+		}
+	}
+	if n > p.replicaOnlyPeak {
+		p.replicaOnlyPeak = n
+	}
+}
+
+// ReplicaOnlyPeak reports the worst number of dedicated-replica servers
+// ever observed (0 means the "no dedicated replica servers" property held
+// throughout).
+func (p *Pool) ReplicaOnlyPeak() int { return p.replicaOnlyPeak }

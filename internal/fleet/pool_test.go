@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func spec(name string, mbs int, f int, demand float64) ChainSpec {
+	names := make([]string, mbs)
+	for i := range names {
+		names[i] = "monitor"
+	}
+	return ChainSpec{
+		Name: name, TTL: time.Second, BandwidthMbps: demand, Users: 8,
+		MaxResponseLatency: 50 * time.Millisecond, Middleboxes: names, F: f,
+	}
+}
+
+// A pool with zero CPU and zero bandwidth admits nothing, ever.
+func TestPoolZeroCapacity(t *testing.T) {
+	p := NewPool(4, 0, 0)
+	if _, err := p.Admit(spec("a", 1, 1, 1)); err == nil {
+		t.Fatal("zero-capacity pool admitted a chain")
+	}
+	if _, err := p.Admit(spec("b", 2, 0, 0.001)); err == nil {
+		t.Fatal("zero-capacity pool admitted a minimal chain")
+	}
+}
+
+// A chain that exactly fills the residual capacity is admitted; the next
+// chain, however small, is rejected.
+func TestPoolExactResidualFit(t *testing.T) {
+	p := NewPool(2, 1, 100)
+	if _, err := p.Admit(spec("fill", 1, 1, 100)); err != nil {
+		t.Fatalf("exact-fit chain rejected: %v", err)
+	}
+	for _, s := range p.Servers() {
+		if cpu, bw, _, _ := s.Utilization(); cpu != 1 || bw != 1 {
+			t.Fatalf("server %s not fully reserved: cpu=%v bw=%v", s.Name, cpu, bw)
+		}
+	}
+	if _, err := p.Admit(spec("straw", 1, 1, 0.001)); err == nil {
+		t.Fatal("admitted a chain into a fully reserved pool")
+	}
+	// Releasing the filler opens the pool again.
+	p.Release(spec("fill", 1, 1, 100))
+	if _, err := p.Admit(spec("straw", 1, 1, 0.001)); err != nil {
+		t.Fatalf("pool not reusable after release: %v", err)
+	}
+}
+
+// Extension (replica-only) ring positions land on servers already hosting
+// other chains' middleboxes, so no server becomes a dedicated replica host.
+func TestPoolReplicaSharing(t *testing.T) {
+	p := NewPool(4, 4, 1000)
+	plA, err := p.Admit(spec("a", 2, 1, 100)) // two middlebox positions
+	if err != nil {
+		t.Fatalf("admit a: %v", err)
+	}
+	plB, err := p.Admit(spec("b", 1, 2, 100)) // one middlebox + two extensions
+	if err != nil {
+		t.Fatalf("admit b: %v", err)
+	}
+	mbHosts := map[string]bool{plA[0]: true, plA[1]: true}
+	for _, idx := range []int{1, 2} {
+		if !mbHosts[plB[idx]] {
+			t.Errorf("b's extension position %d placed on %s, which hosts no middlebox (a on %v)",
+				idx, plB[idx], plA)
+		}
+	}
+	if got := p.ReplicaOnlyPeak(); got != 0 {
+		t.Errorf("replica-only peak = %d, want 0", got)
+	}
+}
+
+// A chain never puts two ring positions on one server.
+func TestPoolAntiAffinity(t *testing.T) {
+	p := NewPool(3, 8, 1000)
+	pl, err := p.Admit(spec("a", 1, 2, 10)) // ring 3 on exactly 3 servers
+	if err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, s := range pl {
+		if seen[s] {
+			t.Fatalf("placement %v reuses server %s", pl, s)
+		}
+		seen[s] = true
+	}
+	// A fourth distinct server does not exist, so a ring-4 chain must be
+	// rejected even though aggregate capacity remains.
+	if _, err := p.Admit(spec("b", 1, 3, 10)); err == nil {
+		t.Fatal("admitted a ring-4 chain onto a 3-server pool")
+	}
+}
+
+// Crashing a shared server returns both chains' assignments — the hosted
+// middlebox of one and the co-located extension replica of the other — and
+// Reassign finds each a new server outside the chain's existing set.
+func TestPoolCrashSharedServer(t *testing.T) {
+	p := NewPool(4, 4, 1000)
+	a, b := spec("a", 2, 1, 100), spec("b", 1, 2, 100)
+	plA, err := p.Admit(a)
+	if err != nil {
+		t.Fatalf("admit a: %v", err)
+	}
+	plB, err := p.Admit(b)
+	if err != nil {
+		t.Fatalf("admit b: %v", err)
+	}
+	// Find a server carrying a middlebox of a and an extension of b.
+	shared := ""
+	for _, sa := range plA {
+		for _, idx := range []int{1, 2} {
+			if plB[idx] == sa {
+				shared = sa
+			}
+		}
+	}
+	if shared == "" {
+		t.Fatalf("no shared server between a=%v and b's extensions (b=%v)", plA, plB)
+	}
+	specs := map[string]ChainSpec{"a": a, "b": b}
+	lost := p.CrashServer(shared, specs)
+	var sawMB, sawExt bool
+	for _, asg := range lost {
+		if asg.Chain == "a" && asg.IsMiddlebox {
+			sawMB = true
+		}
+		if asg.Chain == "b" && !asg.IsMiddlebox {
+			sawExt = true
+		}
+	}
+	if !sawMB || !sawExt {
+		t.Fatalf("crash of %s returned %+v; want a middlebox of a and an extension of b", shared, lost)
+	}
+	if !p.Server(shared).Down() {
+		t.Fatal("crashed server not marked down")
+	}
+	// Reassignment: new servers, outside each chain's surviving set.
+	for _, asg := range lost {
+		sp := specs[asg.Chain]
+		dst := p.Reassign(sp, asg.RingIndex)
+		if dst == "" || dst == shared {
+			t.Fatalf("reassign %s/%d -> %q", asg.Chain, asg.RingIndex, dst)
+		}
+		hosts := p.Server(dst).hosts[asg.Chain]
+		n := 0
+		for _, s := range p.Servers() {
+			for range s.hosts[asg.Chain] {
+				n++
+			}
+		}
+		if len(hosts) != 1 {
+			t.Fatalf("chain %s has %d positions on %s after reassign", asg.Chain, len(hosts), dst)
+		}
+		if n != sp.RingSize() {
+			t.Fatalf("chain %s has %d reserved positions, want %d", asg.Chain, n, sp.RingSize())
+		}
+	}
+	// A second crash of the same server is a no-op.
+	if again := p.CrashServer(shared, specs); again != nil {
+		t.Fatalf("double crash returned %+v", again)
+	}
+}
+
+// When no server has nominal room, Reassign overcommits rather than leaving
+// the chain under-replicated, and the overbook is recorded.
+func TestPoolReassignOvercommits(t *testing.T) {
+	p := NewPool(3, 1, 100)
+	a := spec("a", 1, 1, 100)
+	b := spec("b", 1, 0, 100)
+	if _, err := p.Admit(a); err != nil { // s-pair fully reserved
+		t.Fatalf("admit a: %v", err)
+	}
+	if _, err := p.Admit(b); err != nil { // third server fully reserved
+		t.Fatalf("admit b: %v", err)
+	}
+	lost := p.CrashServer("s0", map[string]ChainSpec{"a": a, "b": b})
+	if len(lost) != 1 || lost[0].Chain != "a" {
+		t.Fatalf("crash of s0 returned %+v", lost)
+	}
+	dst := p.Reassign(a, lost[0].RingIndex)
+	if dst != "s2" {
+		t.Fatalf("reassign landed on %q, want the overcommitted s2", dst)
+	}
+	if p.Server(dst).overbooks == 0 {
+		t.Fatalf("expected an overbook on %s", dst)
+	}
+}

@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"github.com/ftsfc/ftc/internal/metrics"
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// Steer is the fleet's flow→chain classifier: one fabric node every
+// generator targets, holding a VIP→chain table. Each admitted chain owns a
+// virtual IP (the destination address of all its flows); the classifier
+// reads the IPv4 destination of each inbound frame and forwards it to the
+// owning chain's *current* ingress replica — resolved per burst, so
+// steering follows recoveries that replace ring position 0 without any
+// table update. Frames whose VIP has no active chain (arriving before
+// admission finished or after teardown) are dropped and counted.
+type Steer struct {
+	node *netsim.Node
+
+	mu    sync.RWMutex
+	table map[uint32]*chainRec
+
+	forwarded metrics.Counter
+	misses    metrics.Counter
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// steerBurst is how many inbound frames the classifier drains per wakeup.
+const steerBurst = 64
+
+// newSteer creates the classifier on its own fabric node and starts its
+// forwarding loop.
+func newSteer(fab *netsim.Fabric, id netsim.NodeID) *Steer {
+	s := &Steer{
+		node:  fab.AddNode(id, netsim.NodeConfig{QueueCap: 8192}),
+		table: make(map[uint32]*chainRec),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// ID returns the classifier's fabric node id — the target every chain
+// generator sends to.
+func (s *Steer) ID() netsim.NodeID { return s.node.ID() }
+
+// Forwarded reports frames steered into a chain.
+func (s *Steer) Forwarded() uint64 { return s.forwarded.Value() }
+
+// Misses reports frames dropped for lack of an active chain.
+func (s *Steer) Misses() uint64 { return s.misses.Value() }
+
+// install maps a chain VIP to its record.
+func (s *Steer) install(vip wire.IPv4Addr, rec *chainRec) {
+	s.mu.Lock()
+	s.table[vip.Uint32()] = rec
+	s.mu.Unlock()
+}
+
+// remove withdraws a chain's steering entry.
+func (s *Steer) remove(vip wire.IPv4Addr) {
+	s.mu.Lock()
+	delete(s.table, vip.Uint32())
+	s.mu.Unlock()
+}
+
+// stop terminates the forwarding loop (RecvBurst returns 0 once the
+// classifier node is crashed).
+func (s *Steer) stop() {
+	s.stopOnce.Do(func() { s.node.Crash() })
+	<-s.done
+}
+
+// dstIP extracts the IPv4 destination from an Ethernet frame, or false for
+// frames too short to classify.
+func dstIP(frame []byte) (uint32, bool) {
+	const off = wire.EthernetHeaderLen + 16
+	if len(frame) < off+4 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(frame[off : off+4]), true
+}
+
+// run is the classifier loop: drain a burst, group frames by owning chain,
+// and forward each group to its chain's current ingress in one fabric
+// call. Frame buffers are released after the fabric copies them on send.
+func (s *Steer) run() {
+	defer close(s.done)
+	buf := make([]netsim.Inbound, steerBurst)
+	frames := make([][]byte, 0, steerBurst)
+	for {
+		n := s.node.RecvBurst(0, buf)
+		if n == 0 {
+			return // node crashed (fleet shutdown)
+		}
+		i := 0
+		for i < n {
+			ip, ok := dstIP(buf[i].Frame)
+			if !ok {
+				s.misses.Inc()
+				netsim.ReleaseFrame(buf[i].Frame)
+				i++
+				continue
+			}
+			s.mu.RLock()
+			rec := s.table[ip]
+			s.mu.RUnlock()
+			if rec == nil {
+				s.misses.Inc()
+				netsim.ReleaseFrame(buf[i].Frame)
+				i++
+				continue
+			}
+			// Coalesce the run of consecutive frames owned by the same chain.
+			frames = frames[:0]
+			for i < n {
+				ip2, ok2 := dstIP(buf[i].Frame)
+				if !ok2 || ip2 != ip {
+					break
+				}
+				frames = append(frames, buf[i].Frame)
+				i++
+			}
+			// Resolve the chain ingress now: recovery may have replaced ring
+			// position 0 since the last burst.
+			if err := s.node.SendBurst(rec.chain.IngressID(), frames); err != nil {
+				s.misses.Add(uint64(len(frames)))
+			} else {
+				s.forwarded.Add(uint64(len(frames)))
+			}
+			for _, fr := range frames {
+				netsim.ReleaseFrame(fr)
+			}
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Minimal YAML-subset decoder for scenario files. The repo takes no
+// third-party dependencies, and fleet scenarios need only a restricted
+// shape: nested maps via 2-space indentation, lists of scalars or maps via
+// "- " items, inline lists via "[a, b, c]", scalars (string, int, float,
+// bool), and "#" comments. Anchors, multi-line strings, flow mappings, and
+// tabs are rejected. parseYAML produces map[string]any / []any / string
+// trees; bindYAML maps them onto structs by `yaml:"name"` field tags.
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line for errors
+}
+
+// parseYAML decodes src into a nested map. The top level must be a map.
+func parseYAML(src []byte) (map[string]any, error) {
+	var lines []yamlLine
+	for num, raw := range strings.Split(string(src), "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.Contains(line, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed (use spaces)", num+1)
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		lines = append(lines, yamlLine{indent: indent, text: trimmed, num: num + 1})
+	}
+	v, next, err := parseBlock(lines, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected dedent structure", lines[next].num)
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yaml: top level must be a mapping")
+	}
+	return m, nil
+}
+
+// stripComment removes a trailing # comment, honoring double-quoted
+// strings.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// parseBlock parses the block starting at lines[i] whose members share
+// indent level `indent`, returning the decoded value and the index of the
+// first line not consumed.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if i >= len(lines) {
+		return map[string]any{}, i, nil
+	}
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseList(lines, i, indent)
+	}
+	return parseMap(lines, i, indent)
+}
+
+func parseMap(lines []yamlLine, i, indent int) (any, int, error) {
+	m := make(map[string]any)
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("yaml: line %d: unexpected indent", ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, 0, fmt.Errorf("yaml: line %d: list item where a key was expected", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, 0, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		i++
+		if rest != "" {
+			v, err := parseScalarOrInline(rest, ln.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[key] = v
+			continue
+		}
+		// Block value: child lines indented deeper, or an empty map.
+		if i < len(lines) && lines[i].indent > indent {
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[key] = v
+			i = next
+		} else {
+			m[key] = map[string]any{}
+		}
+	}
+	return m, i, nil
+}
+
+func parseList(lines []yamlLine, i, indent int) (any, int, error) {
+	var out []any
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			return nil, 0, fmt.Errorf("yaml: line %d: expected a '- ' list item", ln.num)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			return nil, 0, fmt.Errorf("yaml: line %d: empty list item", ln.num)
+		}
+		// An item that looks like "key: ..." starts an inline map whose
+		// remaining entries are the following lines indented past the dash.
+		if k, v, ok := tryKeyValue(rest); ok {
+			itemIndent := indent + 2
+			item := map[string]any{}
+			if v != "" {
+				sv, err := parseScalarOrInline(v, ln.num)
+				if err != nil {
+					return nil, 0, err
+				}
+				item[k] = sv
+			} else if i+1 < len(lines) && lines[i+1].indent > itemIndent {
+				sv, next, err := parseBlock(lines, i+1, lines[i+1].indent)
+				if err != nil {
+					return nil, 0, err
+				}
+				item[k] = sv
+				i = next - 1
+			} else {
+				item[k] = map[string]any{}
+			}
+			i++
+			if i < len(lines) && lines[i].indent >= itemIndent &&
+				!(strings.HasPrefix(lines[i].text, "- ") && lines[i].indent == indent) {
+				restMap, next, err := parseMap(lines, i, lines[i].indent)
+				if err != nil {
+					return nil, 0, err
+				}
+				for mk, mv := range restMap.(map[string]any) {
+					if _, dup := item[mk]; dup {
+						return nil, 0, fmt.Errorf("yaml: line %d: duplicate key %q in list item", lines[i].num, mk)
+					}
+					item[mk] = mv
+				}
+				i = next
+			}
+			out = append(out, item)
+			continue
+		}
+		sv, err := parseScalarOrInline(rest, ln.num)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, sv)
+		i++
+	}
+	return out, i, nil
+}
+
+// splitKey splits "key: value" / "key:".
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	k, v, ok := tryKeyValue(ln.text)
+	if !ok {
+		return "", "", fmt.Errorf("yaml: line %d: expected 'key: value'", ln.num)
+	}
+	return k, v, nil
+}
+
+// tryKeyValue splits "key: value" or "key:", requiring a space (or end of
+// line) after the colon so URLs inside values don't split.
+func tryKeyValue(s string) (key, value string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			return "", "", false // values may hold colons; keys are never quoted here
+		}
+		if s[i] == ':' {
+			if i+1 == len(s) {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), true
+			}
+			return "", "", false
+		}
+	}
+	return "", "", false
+}
+
+// parseScalarOrInline decodes a scalar or an inline "[a, b]" list. Scalars
+// stay strings; the binder converts them per target field type.
+func parseScalarOrInline(s string, num int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml: line %d: unterminated inline list", num)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range strings.Split(inner, ",") {
+			out = append(out, unquote(strings.TrimSpace(part)))
+		}
+		return out, nil
+	}
+	return unquote(s), nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// bindYAML fills the struct at dst (a non-nil pointer) from the decoded
+// map, matching fields by their `yaml:"name"` tags. Unknown keys are an
+// error — a typo in a scenario file must not silently become a default.
+func bindYAML(dst any, src map[string]any, path string) error {
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Pointer || rv.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("yaml: bind target at %s must be a struct pointer", path)
+	}
+	sv := rv.Elem()
+	st := sv.Type()
+	known := make(map[string]int, st.NumField())
+	for i := 0; i < st.NumField(); i++ {
+		tag := st.Field(i).Tag.Get("yaml")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		known[strings.Split(tag, ",")[0]] = i
+	}
+	for key, val := range src {
+		fi, ok := known[key]
+		if !ok {
+			return fmt.Errorf("yaml: %s: unknown key %q", path, key)
+		}
+		if err := bindValue(sv.Field(fi), val, path+"."+key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bindValue(f reflect.Value, val any, path string) error {
+	switch f.Kind() {
+	case reflect.String:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("yaml: %s: expected a string", path)
+		}
+		f.SetString(s)
+	case reflect.Bool:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("yaml: %s: expected true/false", path)
+		}
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return fmt.Errorf("yaml: %s: %v", path, err)
+		}
+		f.SetBool(b)
+	case reflect.Int, reflect.Int64:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("yaml: %s: expected an integer", path)
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("yaml: %s: %v", path, err)
+		}
+		f.SetInt(n)
+	case reflect.Float64:
+		s, ok := val.(string)
+		if !ok {
+			return fmt.Errorf("yaml: %s: expected a number", path)
+		}
+		x, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("yaml: %s: %v", path, err)
+		}
+		f.SetFloat(x)
+	case reflect.Slice:
+		list, ok := val.([]any)
+		if !ok {
+			return fmt.Errorf("yaml: %s: expected a list", path)
+		}
+		out := reflect.MakeSlice(f.Type(), len(list), len(list))
+		for i, item := range list {
+			el := out.Index(i)
+			if el.Kind() == reflect.Struct {
+				m, ok := item.(map[string]any)
+				if !ok {
+					return fmt.Errorf("yaml: %s[%d]: expected a mapping", path, i)
+				}
+				if err := bindYAML(el.Addr().Interface(), m, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			} else if err := bindValue(el, item, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		f.Set(out)
+	case reflect.Struct:
+		m, ok := val.(map[string]any)
+		if !ok {
+			return fmt.Errorf("yaml: %s: expected a mapping", path)
+		}
+		return bindYAML(f.Addr().Interface(), m, path)
+	default:
+		return fmt.Errorf("yaml: %s: unsupported field kind %s", path, f.Kind())
+	}
+	return nil
+}

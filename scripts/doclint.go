@@ -1,10 +1,13 @@
 //go:build ignore
 
 // Command doclint enforces the godoc contract on selected packages: every
-// exported top-level symbol (and the package itself) must carry a doc
-// comment. It is part of `make ci` for the packages whose documentation
-// the deployment walkthrough depends on (internal/trans, cmd/ftcd,
-// cmd/ftcgen).
+// exported top-level symbol must carry a doc comment, the package comment
+// must open canonically ("Package <name> ..." — or "Command ..." for main
+// packages), and every struct field carrying a `yaml:"..."` tag must have
+// a doc comment; numeric YAML fields must additionally name their unit
+// (Mbps, ms, µs, seconds, bytes, count, ...) so no scenario knob ships
+// without its dimension. It is part of `make ci` for the packages whose
+// documentation the deployment and fleet walkthroughs depend on.
 //
 // Usage: go run scripts/doclint.go <dir> [<dir>...]
 package main
@@ -16,6 +19,9 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"reflect"
+	"regexp"
+	"strconv"
 	"strings"
 )
 
@@ -29,13 +35,48 @@ func main() {
 		bad += lintDir(dir)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported symbol(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "doclint: %d documentation finding(s)\n", bad)
 		os.Exit(1)
 	}
 }
 
-// lintDir parses every non-test Go file in dir and reports exported
-// declarations lacking doc comments. Returns the number of findings.
+// unitTokens are the accepted unit spellings for numeric YAML config
+// fields. Each must appear in the field's doc comment as a whole word —
+// "ms" inside "items" does not count.
+var unitTokens = []string{
+	"Mbps", "Gbps", "pps", "ms", "µs", "us", "ns", "seconds", "bytes",
+	"CPU units", "count", "fraction", "multiplier", "ratio", "per second",
+	"dimensionless",
+}
+
+// unitPatterns matches each token at word boundaries (non-letter or edge
+// on both sides), precompiled once.
+var unitPatterns = func() []*regexp.Regexp {
+	pats := make([]*regexp.Regexp, len(unitTokens))
+	for i, tok := range unitTokens {
+		pats[i] = regexp.MustCompile(`(^|[^\pL])` + regexp.QuoteMeta(tok) + `([^\pL]|$)`)
+	}
+	return pats
+}()
+
+// hasUnit reports whether the doc text names any accepted unit.
+func hasUnit(doc string) bool {
+	for _, p := range unitPatterns {
+		if p.MatchString(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+// numericKinds are the field type spellings the unit rule applies to.
+var numericKinds = map[string]bool{
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"float32": true, "float64": true,
+}
+
+// lintDir parses every non-test Go file in dir and reports findings.
 func lintDir(dir string) int {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
@@ -46,28 +87,13 @@ func lintDir(dir string) int {
 		return 1
 	}
 	bad := 0
-	report := func(pos token.Pos, what string) {
+	report := func(pos token.Pos, format string, args ...any) {
 		p := fset.Position(pos)
-		fmt.Fprintf(os.Stderr, "%s:%d: %s has no doc comment\n", filepath.ToSlash(p.Filename), p.Line, what)
+		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...))
 		bad++
 	}
 	for _, pkg := range pkgs {
-		hasPkgDoc := false
-		for _, f := range pkg.Files {
-			if f.Doc != nil {
-				hasPkgDoc = true
-			}
-		}
-		if !hasPkgDoc {
-			// Attribute the finding to any one file of the package.
-			for name, f := range pkg.Files {
-				fmt.Fprintf(os.Stderr, "%s: package %s has no package doc comment\n",
-					filepath.ToSlash(name), pkg.Name)
-				bad++
-				_ = f
-				break
-			}
-		}
+		bad += lintPackageDoc(fset, pkg)
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
 				switch d := decl.(type) {
@@ -84,7 +110,7 @@ func lintDir(dir string) int {
 							name = recvName + "." + name
 						}
 					}
-					report(d.Pos(), "func "+name)
+					report(d.Pos(), "func %s has no doc comment", name)
 				case *ast.GenDecl:
 					lintGenDecl(d, report)
 				}
@@ -94,9 +120,44 @@ func lintDir(dir string) int {
 	return bad
 }
 
+// lintPackageDoc requires a package comment opening "Package <name> " for
+// library packages and "Command " for main packages, so the godoc index
+// line reads canonically.
+func lintPackageDoc(fset *token.FileSet, pkg *ast.Package) int {
+	var doc *ast.CommentGroup
+	var docFile string
+	var anyFile string
+	for name, f := range pkg.Files {
+		if anyFile == "" || name < anyFile {
+			anyFile = name
+		}
+		if f.Doc != nil {
+			doc = f.Doc
+			docFile = name
+		}
+	}
+	if doc == nil {
+		fmt.Fprintf(os.Stderr, "%s: package %s has no package doc comment\n",
+			filepath.ToSlash(anyFile), pkg.Name)
+		return 1
+	}
+	text := doc.Text()
+	want := "Package " + pkg.Name + " "
+	if pkg.Name == "main" {
+		want = "Command "
+	}
+	if !strings.HasPrefix(text, want) {
+		fmt.Fprintf(os.Stderr, "%s: package %s doc comment must start %q\n",
+			filepath.ToSlash(docFile), pkg.Name, want+"...")
+		return 1
+	}
+	return 0
+}
+
 // lintGenDecl checks exported types, vars, and consts. A doc comment on
 // the grouped declaration covers all its specs, matching godoc rendering.
-func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+// Struct types additionally get their yaml-tagged fields checked.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, ...any)) {
 	if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
 		return
 	}
@@ -104,13 +165,55 @@ func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
 			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-				report(s.Pos(), "type "+s.Name.Name)
+				report(s.Pos(), "type %s has no doc comment", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				lintYAMLFields(s.Name.Name, st, report)
 			}
 		case *ast.ValueSpec:
 			for _, n := range s.Names {
 				if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
-					report(n.Pos(), d.Tok.String()+" "+n.Name)
+					report(n.Pos(), "%s %s has no doc comment", d.Tok.String(), n.Name)
 				}
+			}
+		}
+	}
+}
+
+// lintYAMLFields enforces the config-surface contract: every field with a
+// `yaml:"..."` tag must carry a doc comment, and numeric fields must name
+// their unit in it — a scenario knob without a dimension is unusable.
+func lintYAMLFields(typeName string, st *ast.StructType, report func(token.Pos, string, ...any)) {
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(field.Tag.Value)
+		if err != nil {
+			continue
+		}
+		yamlKey, ok := reflect.StructTag(raw).Lookup("yaml")
+		if !ok || yamlKey == "-" {
+			continue
+		}
+		name := yamlKey
+		if len(field.Names) > 0 {
+			name = field.Names[0].Name
+		}
+		var docText string
+		if field.Doc != nil {
+			docText = field.Doc.Text()
+		} else if field.Comment != nil {
+			docText = field.Comment.Text()
+		}
+		if strings.TrimSpace(docText) == "" {
+			report(field.Pos(), "yaml field %s.%s (yaml:%q) has no doc comment", typeName, name, yamlKey)
+			continue
+		}
+		if ident, isIdent := field.Type.(*ast.Ident); isIdent && numericKinds[ident.Name] {
+			if !hasUnit(docText) {
+				report(field.Pos(), "yaml field %s.%s (yaml:%q) doc names no unit (expected one of: %s)",
+					typeName, name, yamlKey, strings.Join(unitTokens, ", "))
 			}
 		}
 	}
