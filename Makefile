@@ -5,7 +5,7 @@ GO ?= go
 BURST ?= 32
 DATE  := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet doclint crossbuild race stress chaos bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
+.PHONY: all build test vet doclint crossbuild race stress chaos fuzz-short bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
 
 all: build vet test
 
@@ -54,6 +54,14 @@ race:
 stress:
 	$(GO) test -race -count=3 -run 'TestBurstEquivalence|TestStealEquivalence' ./internal/core/
 	$(GO) test -race -count=3 -run 'TestQueueSchedPerQueueFIFO|TestQueueSchedSteal|TestQueueSchedReleaseRings' ./internal/netsim/
+
+# Piggyback codec fuzz gate: replays the checked-in seed corpus (both wire
+# versions, every v2 update kind, coalesced/elided logs, truncations), then
+# fuzzes the decoder briefly for fresh inputs. Short and deterministic
+# enough for every CI run; longer campaigns raise -fuzztime locally.
+fuzz-short:
+	$(GO) test ./internal/core -run='^FuzzMessageCodec$$' -count=1
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzMessageCodec$$' -fuzztime=5s
 
 # Fast allocation gate: runs the zero-alloc fast-path benchmark a fixed
 # number of iterations so CI can catch an allocation regression in seconds.
@@ -118,7 +126,8 @@ bench-json:
 	@echo wrote BENCH_$(DATE).json
 
 # The full pre-merge gate: build, vet, doc lint, the non-Linux
-# cross-compile gate, the benchmark regression guard (allocation smoke
-# benchmarks diffed against baseline), the race-sensitive packages under
-# -race, the scheduler stress gate, and the whole test suite.
-ci: build vet doclint crossbuild bench-guard race stress test
+# cross-compile gate, the piggyback codec fuzz gate, the benchmark
+# regression guard (allocation smoke benchmarks diffed against baseline),
+# the race-sensitive packages under -race, the scheduler stress gate, and
+# the whole test suite.
+ci: build vet doclint crossbuild fuzz-short bench-guard race stress test

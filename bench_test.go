@@ -76,6 +76,9 @@ func pump(b *testing.B, kind exp.Kind, factory exp.MBFactory, workers int, packe
 	if elapsed > 0 {
 		b.ReportMetric(float64(b.N)/elapsed, "pps")
 	}
+	if g := s.Goodput(); g > 0 {
+		b.ReportMetric(g, "goodput")
+	}
 }
 
 // BenchmarkTable2 measures the per-packet cost of each FTC element
@@ -192,6 +195,9 @@ func pumpSUTChunked(b *testing.B, s *exp.SUT) {
 	b.StopTimer()
 	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 		b.ReportMetric(float64(b.N)/elapsed, "pps")
+	}
+	if g := s.Goodput(); g > 0 {
+		b.ReportMetric(g, "goodput")
 	}
 }
 
@@ -339,6 +345,9 @@ func pumpSUT(b *testing.B, s *exp.SUT) {
 	b.StopTimer()
 	if elapsed := time.Since(start).Seconds(); elapsed > 0 {
 		b.ReportMetric(float64(b.N)/elapsed, "pps")
+	}
+	if g := s.Goodput(); g > 0 {
+		b.ReportMetric(g, "goodput")
 	}
 }
 

@@ -201,6 +201,15 @@ func main() {
 	log.Printf("ftcd: rx=%d tx=%d egress=%d filtered=%d repairs=%d",
 		s.RxFrames.Load(), s.TxFrames.Load(), s.Egress.Load(),
 		s.Filtered.Load(), s.Repairs.Load())
+	// Goodput accounting on this replica's inter-replica hop: application
+	// payload vs piggyback overhead vs total bytes sent (see core.Stats).
+	app, pb, wireB := s.AppBytesOut.Load(), s.PiggybackBytesOut.Load(), s.WireBytesOut.Load()
+	goodput := 0.0
+	if wireB > 0 {
+		goodput = float64(app) / float64(wireB)
+	}
+	log.Printf("ftcd: goodput app=%dB piggyback=%dB wire=%dB ratio=%.3f",
+		app, pb, wireB, goodput)
 	ts := bridge.Stats()
 	log.Printf("ftcd: tunnel out=%d frames/%d dgrams in=%d frames/%d dgrams oversize=%d truncated=%d",
 		ts.FramesOut, ts.DatagramsOut, ts.FramesIn, ts.DatagramsIn,

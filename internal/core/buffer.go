@@ -68,11 +68,34 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message, w *worker) bool {
 			}
 		}
 	}
-	if len(msg.Logs) > 0 || len(commits) > 0 {
+	// Elided vec-only markers exist to gate this packet's release; their
+	// substance (a coalesced run or a spillover push) replicates separately,
+	// so markers die here rather than recirculating around the ring.
+	xferLogs := msg.Logs
+	for i := range msg.Logs {
+		if msg.Logs[i].Elided() {
+			var dst []Log
+			if w != nil {
+				dst = w.xfer[:0]
+			}
+			for _, l := range msg.Logs {
+				if !l.Elided() {
+					dst = append(dst, l)
+				}
+			}
+			xferLogs = dst
+			if w != nil {
+				w.xfer = dst[:0]
+			}
+			break
+		}
+	}
+	if len(xferLogs) > 0 || len(commits) > 0 {
 		transfer := &Message{
+			Ver:     r.ver,
 			Flags:   FlagBufferTransfer,
 			Gen:     msg.Gen,
-			Logs:    msg.Logs,
+			Logs:    xferLogs,
 			Commits: commits,
 		}
 		// Encode straight onto a pooled copy of the carrier template: no
@@ -81,7 +104,11 @@ func (r *Replica) bufferStage(pkt *wire.Packet, msg *Message, w *worker) bool {
 		buf := netsim.AcquireFrame(len(tmpl) + transfer.LenEstimate() + 8)[:len(tmpl)]
 		copy(buf, tmpl)
 		if out, err := wire.AppendRawTrailer(buf, transfer); err == nil {
-			_ = r.sim.Send(r.ringID(0), out)
+			if r.sim.Send(r.ringID(0), out) == nil {
+				// Transfer frames are pure replication overhead.
+				r.stats.WireBytesOut.Add(uint64(len(out)))
+				r.stats.PiggybackBytesOut.Add(uint64(len(out)))
+			}
 			netsim.ReleaseFrame(out)
 		} else {
 			netsim.ReleaseFrame(buf)

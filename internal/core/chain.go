@@ -40,6 +40,16 @@ type Chain struct {
 func NewChain(cfg Config, fabric *netsim.Fabric, name string, mbs []Middlebox, egress netsim.NodeID) *Chain {
 	cfg.NumMB = len(mbs)
 	cfg = cfg.WithDefaults()
+	if cfg.CarrierCapacity > 0 && cfg.Groups == nil {
+		cost := func(j int) float64 {
+			if cc, ok := mbs[j].(CarrierCoster); ok {
+				return cc.CarrierCost()
+			}
+			return 1
+		}
+		// nil (infeasible capacity) falls back to the consecutive layout.
+		cfg.Groups = PlanGroups(len(mbs), cfg.F, cfg.CarrierCapacity, cost)
+	}
 	ring := cfg.Ring()
 	c := &Chain{
 		cfg:    cfg,
@@ -77,13 +87,14 @@ func (c *Chain) buildReplica(idx int, id netsim.NodeID, mb Middlebox) *Replica {
 		Selector: wire.RSSSelector,
 	})
 	return NewReplica(c.cfg, ReplicaSpec{
-		Index:       idx,
-		Sim:         sim,
-		Fabric:      c.fabric,
-		RingIDs:     c.ringIDs,
-		Egress:      c.egress,
-		MB:          mb,
-		TTLPrefixes: c.ttlPrefixes,
+		Index:         idx,
+		Sim:           sim,
+		Fabric:        c.fabric,
+		RingIDs:       c.ringIDs,
+		Egress:        c.egress,
+		MB:            mb,
+		TTLPrefixes:   c.ttlPrefixes,
+		DeltaPrefixes: c.deltaPrefixes,
 	})
 }
 
@@ -96,6 +107,18 @@ func (c *Chain) ttlPrefixes(mb int) []string {
 	}
 	if f, ok := c.mbs[mb].(FlowTTLer); ok {
 		return f.FlowTTLPrefixes()
+	}
+	return nil
+}
+
+// deltaPrefixes resolves the DeltaPrefixer prefixes of middlebox mb; the
+// hosting head's store classifies counter writes under them as deltas.
+func (c *Chain) deltaPrefixes(mb int) []string {
+	if mb < 0 || mb >= len(c.mbs) {
+		return nil
+	}
+	if d, ok := c.mbs[mb].(DeltaPrefixer); ok {
+		return d.DeltaPrefixes()
 	}
 	return nil
 }

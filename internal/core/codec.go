@@ -6,8 +6,8 @@ import (
 	"github.com/ftsfc/ftc/internal/state"
 )
 
-// appendLog encodes one piggyback log (shared by Message and the recovery
-// fetch format).
+// appendLog encodes one piggyback log in the fixed-width v1 form. A v1 log
+// has no base vector; coalesced logs must travel in v2 messages.
 func appendLog(dst []byte, l *Log) []byte {
 	dst = binary.BigEndian.AppendUint16(dst, l.MB)
 	dst = append(dst, l.Flags)
@@ -37,7 +37,59 @@ func appendUpdate(dst []byte, u state.Update) []byte {
 	return dst
 }
 
+// v2 update kind byte: what follows the key.
+const (
+	updKindDelete = 0 // nothing: the key is deleted
+	updKindFull   = 1 // uvarint valLen + value bytes
+	updKindDelta  = 2 // svarint delta against the receiver's current value
+)
+
+// appendLogV2 encodes one piggyback log in the varint v2 form. fullValues
+// forces delta-classified updates onto the full-value wire form when the
+// value is still at hand (control-plane messages; see Message.FullValues).
+func appendLogV2(dst []byte, l *Log, fullValues bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(l.MB))
+	dst = append(dst, l.Flags)
+	dst = binary.AppendUvarint(dst, uint64(len(l.Vec)))
+	for _, e := range l.Vec {
+		dst = binary.AppendUvarint(dst, uint64(e.Part))
+		dst = binary.AppendUvarint(dst, e.Seq)
+	}
+	if l.Coalesced() {
+		// Base rides as the per-entry distance below Vec, same order.
+		for i, e := range l.Vec {
+			dst = binary.AppendUvarint(dst, e.Seq-l.Base[i].Seq)
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(l.Updates)))
+	for _, u := range l.Updates {
+		dst = appendUpdateV2(dst, u, fullValues)
+	}
+	return dst
+}
+
+func appendUpdateV2(dst []byte, u state.Update, fullValues bool) []byte {
+	dst = binary.AppendUvarint(dst, uint64(u.Partition))
+	dst = binary.AppendUvarint(dst, uint64(len(u.Key)))
+	dst = append(dst, u.Key...)
+	switch {
+	case u.Flags&state.UpdateDelta != 0 && (u.Value == nil || !fullValues):
+		dst = append(dst, updKindDelta)
+		dst = binary.AppendVarint(dst, u.Delta)
+	case u.Value == nil:
+		dst = append(dst, updKindDelete)
+	default:
+		dst = append(dst, updKindFull)
+		dst = binary.AppendUvarint(dst, uint64(len(u.Value)))
+		dst = append(dst, u.Value...)
+	}
+	return dst
+}
+
 func (d *decoder) update() (state.Update, error) {
+	if d.ver >= msgV2 {
+		return d.updateV2()
+	}
 	var u state.Update
 	var err error
 	if u.Partition, err = d.u16(); err != nil {
@@ -71,23 +123,80 @@ func (d *decoder) update() (state.Update, error) {
 	return u, nil
 }
 
+func (d *decoder) updateV2() (state.Update, error) {
+	var u state.Update
+	var err error
+	if u.Partition, err = d.n16(); err != nil {
+		return u, err
+	}
+	kl, err := d.uv()
+	if err != nil {
+		return u, err
+	}
+	if kl > uint64(len(d.b)-d.off) {
+		return u, ErrDecode
+	}
+	kb, err := d.bytes(int(kl))
+	if err != nil {
+		return u, err
+	}
+	u.Key = string(kb)
+	kind, err := d.u8()
+	if err != nil {
+		return u, err
+	}
+	switch kind {
+	case updKindDelete:
+	case updKindFull:
+		vl, err := d.uv()
+		if err != nil {
+			return u, err
+		}
+		if vl > uint64(len(d.b)-d.off) {
+			return u, ErrDecode
+		}
+		vb, err := d.bytes(int(vl))
+		if err != nil {
+			return u, err
+		}
+		u.Value = make([]byte, len(vb)) // non-nil even when empty: nil means delete
+		copy(u.Value, vb)
+	case updKindDelta:
+		if u.Delta, err = d.sv(); err != nil {
+			return u, err
+		}
+		u.Flags = state.UpdateDelta // Value stays nil: receiver resolves on apply
+	default:
+		return u, ErrDecode
+	}
+	return u, nil
+}
+
 func (d *decoder) log() (Log, error) {
 	var l Log
 	var err error
-	if l.MB, err = d.u16(); err != nil {
+	if l.MB, err = d.n16(); err != nil {
 		return l, err
 	}
 	if l.Flags, err = d.u8(); err != nil {
 		return l, err
 	}
-	nv, err := d.u16()
+	nv, err := d.n16()
 	if err != nil {
 		return l, err
 	}
 	if l.Vec, err = d.vec(int(nv)); err != nil {
 		return l, err
 	}
-	nu, err := d.u16()
+	if l.Coalesced() {
+		if d.ver < msgV2 {
+			return l, ErrDecode // coalesced logs exist only in v2
+		}
+		if l.Base, err = d.base(l.Vec); err != nil {
+			return l, err
+		}
+	}
+	nu, err := d.n16()
 	if err != nil {
 		return l, err
 	}
@@ -174,19 +283,22 @@ func encodeFetchState(fs *FetchState) []byte {
 	for _, v := range fs.Vector {
 		dst = binary.BigEndian.AppendUint64(dst, v)
 	}
+	// Logs and snapshot ride in v2 form: buffered coalesced logs need their
+	// base vectors, and full values are forced so the recovering replica can
+	// install everything without delta context.
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(fs.Logs)))
 	for i := range fs.Logs {
-		dst = appendLog(dst, &fs.Logs[i])
+		dst = appendLogV2(dst, &fs.Logs[i], true)
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(fs.Snapshot)))
 	for _, u := range fs.Snapshot {
-		dst = appendUpdate(dst, u)
+		dst = appendUpdateV2(dst, u, true)
 	}
 	return dst
 }
 
 func decodeFetchState(b []byte) (*FetchState, error) {
-	d := &decoder{b: b}
+	d := &decoder{b: b, ver: msgV2}
 	fs := &FetchState{}
 	var err error
 	if fs.MB, err = d.u16(); err != nil {

@@ -89,6 +89,30 @@ type Config struct {
 	// positive). Nil means wall clock. Tests and the chaos harness inject a
 	// manual clock to force or forbid expiry deterministically.
 	ExpiryClock func() int64
+	// NoDiet disables the piggyback diet: replicas speak the fixed-width v1
+	// wire format, burst coalescing and delta encoding are off, and every
+	// transaction's log rides its own packet in full. The diet is on by
+	// default; NoDiet exists for baselines, equivalence tests, and talking
+	// to pre-diet peers.
+	NoDiet bool
+	// PiggybackBudget caps the piggyback trailer bytes attached to one data
+	// packet. A log that would push the trailer past the budget is elided
+	// from the packet (its dependency vector still rides, gating release at
+	// the egress buffer) and its updates spill to the group followers over
+	// the background spillover RPC. Zero means unlimited — the pre-budget
+	// behavior, where oversized state can overflow the MTU and drop frames.
+	PiggybackBudget int
+	// Groups, when non-nil, pins each middlebox's replication group to an
+	// explicit list of ring positions (head first) instead of the paper's
+	// F+1-consecutive-successors rule. Normally produced by the cost-aware
+	// placement planner (see PlanGroups) rather than written by hand.
+	Groups [][]int
+	// CarrierCapacity, when positive, bounds how many follower replicas each
+	// ring node may host and turns on cost-aware carrier placement: chains
+	// built through NewChain ask each middlebox for its per-packet carrier
+	// cost and assign the costliest states to the nearest downstream nodes
+	// with free capacity. Zero keeps the consecutive-successors layout.
+	CarrierCapacity int
 }
 
 // WithDefaults fills zero fields with production defaults.
@@ -183,4 +207,4 @@ func (c Config) NumIngressQueues() int {
 }
 
 // Ring derives the chain's logical ring from the configuration.
-func (c Config) Ring() Ring { return Ring{N: c.NumMB, F: c.F} }
+func (c Config) Ring() Ring { return Ring{N: c.NumMB, F: c.F, Groups: c.Groups} }

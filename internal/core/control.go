@@ -18,6 +18,7 @@ const (
 	rpcSetGen   = "ftc.setgen"
 	rpcSetRoute = "ftc.setroute"
 	rpcPing     = "ftc.ping"
+	rpcSpill    = "ftc.spill"
 )
 
 func (r *Replica) registerControl() {
@@ -25,6 +26,7 @@ func (r *Replica) registerControl() {
 	r.sim.RegisterRPC(rpcFetch, r.handleFetch)
 	r.sim.RegisterRPC(rpcSetGen, r.handleSetGen)
 	r.sim.RegisterRPC(rpcSetRoute, r.handleSetRoute)
+	r.sim.RegisterRPC(rpcSpill, r.handleSpill)
 	r.sim.RegisterRPC(rpcPing, func(netsim.NodeID, []byte) ([]byte, error) {
 		return []byte{1}, nil
 	})
@@ -46,8 +48,39 @@ func (r *Replica) handleRepair(_ netsim.NodeID, req []byte) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("core: replica %d not in group of mb %d", r.idx, mb)
 	}
-	m := &Message{Gen: r.gen.Load(), Logs: logs}
+	// Full values forced: the requester may have just recovered from a
+	// snapshot that partially overlaps a coalesced run, where a delta-form
+	// update cannot be applied (see Follower.applyCoalescedLocked).
+	m := &Message{Ver: r.ver, FullValues: true, Gen: r.gen.Load(), Logs: logs}
 	return m.Encode(make([]byte, 0, m.LenEstimate())), nil
+}
+
+// handleSpill applies logs whose updates were too big for their packet's
+// byte budget and were pushed over RPC instead of the piggyback trailer.
+// The wait is bounded: if dependencies stay unmet the push is dropped and
+// the sender's resend loop re-pushes once commits stall.
+func (r *Replica) handleSpill(_ netsim.NodeID, req []byte) ([]byte, error) {
+	m, err := DecodeMessage(req)
+	if err != nil {
+		return nil, err
+	}
+	if m.Gen != r.gen.Load() {
+		r.stats.StaleGen.Add(1)
+		return nil, nil
+	}
+	deadline := 4 * r.cfg.RepairEvery
+	if deadline > r.cfg.RepairDeadline {
+		deadline = r.cfg.RepairDeadline
+	}
+	for _, l := range m.Logs {
+		f := r.followers[l.MB]
+		if f == nil {
+			continue
+		}
+		mb := l.MB
+		f.waitApply(l, r.cfg.RepairEvery, func() { r.repair(mb, f) }, deadline, nil)
+	}
+	return nil, nil
 }
 
 // handleFetch serves a middlebox's full replica state to a recovering
@@ -61,14 +94,18 @@ func (r *Replica) handleFetch(_ netsim.NodeID, req []byte) ([]byte, error) {
 	fs := &FetchState{MB: mb}
 	switch {
 	case r.head != nil && r.head.MB() == mb:
-		fs.Vector = r.head.Vector()
-		fs.Logs = r.head.Buffer().all()
-		fs.Snapshot = r.head.Store().Snapshot()
+		// The fetch gate excludes in-flight transactions (and whole worker
+		// bursts) so vector, buffer, and snapshot form one consistent cut: a
+		// torn cut would double-apply delta updates or lose a burst's logs
+		// at the recovering replica.
+		h := r.head
+		h.fetchMu.Lock()
+		fs.Vector = h.Vector()
+		fs.Logs = h.Buffer().all()
+		fs.Snapshot = h.Store().Snapshot()
+		h.fetchMu.Unlock()
 	case r.followers[mb] != nil:
-		f := r.followers[mb]
-		fs.Vector = f.Max()
-		fs.Logs = f.Buffer().all()
-		fs.Snapshot = f.Store().Snapshot()
+		fs.Vector, fs.Logs, fs.Snapshot = r.followers[mb].Fetch()
 	default:
 		return nil, fmt.Errorf("core: replica %d has no state for mb %d", r.idx, mb)
 	}

@@ -1,0 +1,581 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/ftsfc/ftc/internal/netsim"
+	"github.com/ftsfc/ftc/internal/state"
+	"github.com/ftsfc/ftc/internal/wire"
+)
+
+// countDeltaMB is countMB with its counter key opted into delta encoding.
+type countDeltaMB struct{ countMB }
+
+func (c *countDeltaMB) DeltaPrefixes() []string { return []string{c.key} }
+
+// dietFlowMB bumps a per-flow counter (one key per source port), so bursts of
+// distinct flows exercise coalescing across many partitions, and the keys
+// are delta-classified.
+type dietFlowMB struct{ prefix string }
+
+func (f *dietFlowMB) Name() string { return "dflow-" + f.prefix }
+
+func (f *dietFlowMB) DeltaPrefixes() []string { return []string{f.prefix} }
+
+func (f *dietFlowMB) Process(p *wire.Packet, tx state.Txn) (Verdict, error) {
+	_, err := counterBump(tx, fmt.Sprintf("%s%d", f.prefix, p.UDP.SrcPort))
+	if err != nil {
+		return Drop, err
+	}
+	return Forward, nil
+}
+
+// sampleV2Message exercises every v2-only encoding form: a delta update, a
+// delete, a full value, and a coalesced log with a base vector.
+func sampleV2Message() *Message {
+	return &Message{
+		Ver: msgV2,
+		Gen: 9,
+		Logs: []Log{
+			{
+				MB:  1,
+				Vec: NewSparseVec(VecEntry{Part: 3, Seq: 17}),
+				Updates: []state.Update{
+					{Key: "ctr", Partition: 3, Flags: state.UpdateDelta, Delta: -5},
+					{Key: "gone", Partition: 3},
+					{Key: "blob", Value: []byte("xyz"), Partition: 3},
+				},
+			},
+			{
+				MB:    2,
+				Flags: LogCoalesced,
+				Vec:   NewSparseVec(VecEntry{Part: 0, Seq: 40}, VecEntry{Part: 5, Seq: 8}),
+				Base:  NewSparseVec(VecEntry{Part: 0, Seq: 33}, VecEntry{Part: 5, Seq: 8}),
+				Updates: []state.Update{
+					{Key: "k0", Value: []byte{1, 2, 3, 4, 5, 6, 7, 8}, Partition: 0},
+				},
+			},
+			{
+				MB:    2,
+				Flags: LogElided,
+				Vec:   NewSparseVec(VecEntry{Part: 1, Seq: 2}),
+			},
+		},
+		Commits: []Commit{{MB: 1, Vec: NewSparseVec(VecEntry{Part: 3, Seq: 16})}},
+	}
+}
+
+func TestMessageV2RoundTrip(t *testing.T) {
+	m := sampleV2Message()
+	got, err := DecodeMessage(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("v2 round trip mismatch:\n want %+v\n got  %+v", m, got)
+	}
+	if got.Logs[0].Updates[0].Flags&state.UpdateDelta == 0 || got.Logs[0].Updates[0].Delta != -5 {
+		t.Fatalf("delta update decoded as %+v", got.Logs[0].Updates[0])
+	}
+	if !got.Logs[1].Coalesced() || len(got.Logs[1].Base) != 2 {
+		t.Fatalf("coalesced base lost: %+v", got.Logs[1])
+	}
+}
+
+func TestMessageV2FullValuesForcesDeltas(t *testing.T) {
+	// Control-plane messages (FullValues) must ship the retained full value,
+	// not the delta, so receivers without the base value can install it.
+	m := &Message{
+		Ver:        msgV2,
+		FullValues: true,
+		Logs: []Log{{
+			MB:  0,
+			Vec: NewSparseVec(VecEntry{Part: 0, Seq: 1}),
+			Updates: []state.Update{{
+				Key: "c", Value: []byte{0, 0, 0, 0, 0, 0, 0, 7},
+				Partition: 0, Flags: state.UpdateDelta, Delta: 1,
+			}},
+		}},
+	}
+	got, err := DecodeMessage(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := got.Logs[0].Updates[0]
+	if u.Flags&state.UpdateDelta != 0 || !bytes.Equal(u.Value, m.Logs[0].Updates[0].Value) {
+		t.Fatalf("full-values update decoded as %+v", u)
+	}
+}
+
+func TestMessageV2SmallerThanV1(t *testing.T) {
+	// The point of the diet: the same logical message must shrink on the
+	// wire. Counter traffic (short keys, delta values, small seqs) should
+	// shrink well past 30%.
+	m := sampleMessage()
+	v1 := len(m.Encode(nil))
+	m.Ver = msgV2
+	v2 := len(m.Encode(nil))
+	if v2 >= v1 {
+		t.Fatalf("v2 encoding (%dB) not smaller than v1 (%dB)", v2, v1)
+	}
+	t.Logf("v1=%dB v2=%dB (%.0f%%)", v1, v2, 100*float64(v2)/float64(v1))
+}
+
+func TestV1CannotCarryCoalescedLogs(t *testing.T) {
+	m := sampleV2Message()
+	m.Ver = msgV1 // a coalesced log forced onto the v1 wire loses its Base
+	if _, err := DecodeMessage(m.Encode(nil)); !errors.Is(err, ErrDecode) {
+		t.Fatalf("err = %v, want ErrDecode", err)
+	}
+}
+
+func TestV2DecodeRejectsTruncation(t *testing.T) {
+	enc := sampleV2Message().Encode(nil)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeMessage(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestV2LenEstimateCoversEncoding(t *testing.T) {
+	m := sampleV2Message()
+	if got := len(m.Encode(nil)); got > m.LenEstimate() {
+		t.Fatalf("encoded %d bytes > estimate %d", got, m.LenEstimate())
+	}
+}
+
+// dietDigest runs a 3-middlebox chain (two shared counters plus a per-flow
+// counter, all delta-classified) to quiescence and returns every head
+// store's contents, after checking each follower converged to its head.
+func dietDigest(t *testing.T, cfg Config, n int) map[string]string {
+	t.Helper()
+	mbs := []Middlebox{
+		&countDeltaMB{countMB{"c0"}},
+		&dietFlowMB{"fc:"},
+		&countDeltaMB{countMB{"c2"}},
+	}
+	h := newHarness(t, cfg, mbs, netsim.Config{})
+	h.sendPackets(t, n)
+	h.collect(t, n, 20*time.Second)
+	waitForQuiescence(t, h, uint64(n))
+
+	digest := map[string]string{}
+	ring := h.chain.Ring()
+	for j := 0; j < 3; j++ {
+		head := h.chain.Replica(j).Head()
+		hs := head.Store().Snapshot()
+		for _, u := range hs {
+			digest[u.Key] = string(u.Value)
+		}
+		for _, i := range ring.Members(j)[1:] {
+			fs := h.chain.Replica(i).Follower(uint16(j)).Store().Snapshot()
+			if len(fs) != len(hs) {
+				t.Fatalf("mb %d follower at %d: %d keys, head has %d", j, i, len(fs), len(hs))
+			}
+			for k := range hs {
+				if hs[k].Key != fs[k].Key || !bytes.Equal(hs[k].Value, fs[k].Value) {
+					t.Fatalf("mb %d follower at %d diverged at %q: head=%x follower=%x",
+						j, i, hs[k].Key, hs[k].Value, fs[k].Value)
+				}
+			}
+		}
+	}
+	return digest
+}
+
+// TestDietEquivalence is the tentpole's correctness gate: with the diet on
+// (delta encoding, coalescing, elided markers) and off (fixed-width v1),
+// the same traffic must leave byte-identical state on both engines, and
+// every follower must converge to its head either way.
+func TestDietEquivalence(t *testing.T) {
+	engines := map[string]func(int) state.Backend{
+		"2pl": nil,
+		"occ": func(p int) state.Backend { return state.NewOCC(p) },
+	}
+	const n = 300
+	for name, newStore := range engines {
+		t.Run(name, func(t *testing.T) {
+			base := testConfig()
+			base.NewStore = newStore
+			on := base
+			off := base
+			off.NoDiet = true
+			dOn := dietDigest(t, on, n)
+			dOff := dietDigest(t, off, n)
+			if len(dOn) != len(dOff) {
+				t.Fatalf("diet on: %d keys, off: %d keys", len(dOn), len(dOff))
+			}
+			for k, v := range dOff {
+				if dOn[k] != v {
+					t.Fatalf("key %q: diet on=%x off=%x", k, []byte(dOn[k]), []byte(v))
+				}
+			}
+		})
+	}
+}
+
+// TestDietConsistencyUnderLossAndReorder runs the diet path through a lossy,
+// reordering fabric: coalesced runs, elided markers, and delta updates must
+// repair to head/follower byte equality regardless of which carriers die.
+func TestDietConsistencyUnderLossAndReorder(t *testing.T) {
+	cfg := testConfig()
+	mbs := []Middlebox{
+		&countDeltaMB{countMB{"c0"}},
+		&dietFlowMB{"fc:"},
+		&countDeltaMB{countMB{"c2"}},
+	}
+	h := newHarness(t, cfg, mbs, netsim.Config{
+		Seed: 42,
+		DefaultLink: netsim.LinkProfile{
+			LossRate:    0.05,
+			Latency:     100 * time.Microsecond,
+			ReorderRate: 0.2,
+		},
+	})
+	const n = 400
+	h.sendPackets(t, n)
+	// Count survivors until the chain goes quiet.
+	var got int
+	deadline := time.After(20 * time.Second)
+	idle := 0
+	for idle < 400 {
+		select {
+		case <-deadline:
+			idle = 1 << 30
+		default:
+		}
+		if _, ok := h.sink.TryRecv(0); ok {
+			got++
+			idle = 0
+		} else {
+			idle++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if got < n/2 {
+		t.Fatalf("only %d of %d packets survived", got, n)
+	}
+	waitForQuiescence(t, h, 0)
+	ring := h.chain.Ring()
+	for j := 0; j < 3; j++ {
+		head := h.chain.Replica(j).Head()
+		hs := head.Store().Snapshot()
+		for _, i := range ring.Members(j)[1:] {
+			fs := h.chain.Replica(i).Follower(uint16(j)).Store().Snapshot()
+			if len(fs) != len(hs) {
+				t.Fatalf("mb %d follower at %d: %d keys, head has %d", j, i, len(fs), len(hs))
+			}
+			for k := range hs {
+				if hs[k].Key != fs[k].Key || !bytes.Equal(hs[k].Value, fs[k].Value) {
+					t.Fatalf("mb %d follower at %d diverged at %q", j, i, hs[k].Key)
+				}
+			}
+		}
+	}
+}
+
+// TestDietCrashRecovery crashes a replica mid-chain under the diet and
+// verifies recovery: the fetch path must ship full values (a recovering
+// store has no delta context) and buffered coalesced logs intact.
+func TestDietCrashRecovery(t *testing.T) {
+	mbs := []Middlebox{
+		&countDeltaMB{countMB{"c0"}},
+		&countDeltaMB{countMB{"c1"}},
+		&dietFlowMB{"fc:"},
+	}
+	h := newHarness(t, testConfig(), mbs, netsim.Config{})
+	const n1 = 150
+	h.sendPackets(t, n1)
+	h.collect(t, n1, 15*time.Second)
+	waitForQuiescence(t, h, n1)
+
+	h.chain.Crash(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	nr, err := h.chain.Replace(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := nr.Head().Store().Get("c1")
+	if !ok || binary.BigEndian.Uint64(v) != n1 {
+		t.Fatalf("recovered delta-classified head counter = %v %v, want %d", v, ok, n1)
+	}
+	fv, ok := nr.Follower(0).Store().Get("c0")
+	if !ok || binary.BigEndian.Uint64(fv) != n1 {
+		t.Fatalf("recovered follower state = %v %v", fv, ok)
+	}
+
+	const n2 = 100
+	h.sendPackets(t, n2)
+	h.collect(t, n2, 15*time.Second)
+	waitForQuiescence(t, h, n1+n2)
+	v2, _ := nr.Head().Store().Get("c1")
+	if binary.BigEndian.Uint64(v2) != n1+n2 {
+		t.Fatalf("post-recovery counter = %d, want %d", binary.BigEndian.Uint64(v2), n1+n2)
+	}
+}
+
+// TestDietBudgetFitsStandardMTU is the byte-budget acceptance scenario: 2 kB
+// of per-packet state cannot ride a 1500-byte MTU inline (see
+// TestChainNeedsJumboFramesForLargeState), but with a piggyback budget the
+// oversize logs spill to the background push path, packets carry only
+// vec-only markers, and the chain works at the standard MTU.
+func TestDietBudgetFitsStandardMTU(t *testing.T) {
+	cfg := testConfig()
+	cfg.PiggybackBudget = 600
+	f := netsim.New(netsim.Config{DefaultLink: netsim.LinkProfile{MTU: 1500}})
+	defer f.Stop()
+	gen := f.AddNode("gen", netsim.NodeConfig{QueueCap: 1 << 14})
+	sink := f.AddNode("sink", netsim.NodeConfig{QueueCap: 1 << 14})
+	ch := NewChain(cfg, f, "ftc", []Middlebox{&bigStateMB{2000}, &countMB{"c1"}}, "sink")
+	ch.Start()
+	defer ch.Stop()
+	const n = 20
+	for i := 0; i < n; i++ {
+		p, err := wire.BuildUDP(wire.UDPSpec{
+			SrcMAC: wire.MAC{2, 0, 0, 0, 0, 1}, DstMAC: wire.MAC{2, 0, 0, 0, 0, 2},
+			Src: wire.Addr4(10, 3, 0, byte(i)), Dst: wire.Addr4(192, 0, 2, 1),
+			SrcPort: uint16(4000 + i), DstPort: 80, Headroom: 4096,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen.Send(ch.IngressID(), p.Buf)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var got int
+	for got < n && time.Now().Before(deadline) {
+		if _, ok := sink.TryRecv(0); ok {
+			got++
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got != n {
+		t.Fatalf("budgeted 1500B-MTU egress = %d, want %d", got, n)
+	}
+	if err := ch.WaitQuiescent(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The 2 kB value reached the follower via the spill path.
+	fol := ch.Replica(ch.Ring().Tail(0)).Follower(0)
+	bv, ok := fol.Store().Get("big")
+	if !ok || len(bv) != 2000 {
+		t.Fatalf("spilled state at follower = %d bytes, ok=%v, want 2000", len(bv), ok)
+	}
+	if ch.Replica(0).Stats().SpilledLogs.Load() == 0 {
+		t.Fatal("no logs were spilled; budget did not engage")
+	}
+}
+
+// TestPiggybackBudgetCapsTrailer checks the budget is honoured on the data
+// path: with many distinct flows and a small budget, no data frame's
+// piggyback trailer may exceed budget plus one log (the attach rule admits
+// the log that crosses the line, never two).
+func TestPiggybackBudgetCapsTrailer(t *testing.T) {
+	cfg := testConfig()
+	cfg.PiggybackBudget = 256
+	mbs := []Middlebox{&dietFlowMB{"fa:"}, &dietFlowMB{"fb:"}}
+	h := newHarness(t, cfg, mbs, netsim.Config{})
+	const n = 200
+	h.sendPackets(t, n)
+	h.collect(t, n, 20*time.Second)
+	waitForQuiescence(t, h, n)
+	for j := 0; j < 2; j++ {
+		hs := h.chain.Replica(j).Head().Store().Snapshot()
+		tail := h.chain.Ring().Tail(j)
+		fs := h.chain.Replica(tail).Follower(uint16(j)).Store().Snapshot()
+		if len(fs) != len(hs) {
+			t.Fatalf("mb %d: follower %d keys, head %d", j, len(fs), len(hs))
+		}
+	}
+}
+
+func TestPlanGroupsUniformMatchesConsecutive(t *testing.T) {
+	uniform := func(int) float64 { return 1 }
+	for _, tc := range []struct{ n, f, cap int }{{4, 1, 1}, {3, 2, 2}, {5, 2, 4}, {2, 2, 3}} {
+		got := PlanGroups(tc.n, tc.f, tc.cap, uniform)
+		if got == nil {
+			t.Fatalf("n=%d f=%d cap=%d: planner returned nil", tc.n, tc.f, tc.cap)
+		}
+		base := Ring{N: tc.n, F: tc.f}
+		for j := 0; j < tc.n; j++ {
+			if !reflect.DeepEqual(got[j], base.Members(j)) {
+				t.Fatalf("n=%d f=%d cap=%d mb %d: plan %v, consecutive %v",
+					tc.n, tc.f, tc.cap, j, got[j], base.Members(j))
+			}
+		}
+	}
+}
+
+func TestPlanGroupsInfeasibleReturnsNil(t *testing.T) {
+	uniform := func(int) float64 { return 1 }
+	if g := PlanGroups(4, 2, 1, uniform); g != nil { // 1*4 < 2*4
+		t.Fatalf("infeasible capacity produced %v", g)
+	}
+	if g := PlanGroups(4, 0, 8, uniform); g != nil {
+		t.Fatalf("f=0 produced %v", g)
+	}
+	if g := PlanGroups(4, 1, 0, uniform); g != nil {
+		t.Fatalf("capacity=0 produced %v", g)
+	}
+}
+
+func TestPlanGroupsRespectsCapacityAndOrder(t *testing.T) {
+	n, f, cap := 6, 2, 3
+	cost := func(j int) float64 { return float64((j*7)%5) + 1 }
+	g := PlanGroups(n, f, cap, cost)
+	if g == nil {
+		t.Fatal("feasible plan returned nil")
+	}
+	r := Ring{N: n, F: f}
+	m := r.M()
+	load := make([]int, m)
+	for j := 0; j < n; j++ {
+		if len(g[j]) != f+1 || g[j][0] != j {
+			t.Fatalf("mb %d group %v: want head-first, size %d", j, g[j], f+1)
+		}
+		prev := 0
+		for _, p := range g[j][1:] {
+			d := ((p-j)%m + m) % m
+			if d <= prev {
+				t.Fatalf("mb %d group %v: ring distances not strictly increasing", j, g[j])
+			}
+			prev = d
+			load[p]++
+		}
+	}
+	for p, l := range load {
+		if l > cap {
+			t.Fatalf("node %d hosts %d follower roles, capacity %d", p, l, cap)
+		}
+	}
+}
+
+// TestRingGroupsConsecutiveEquivalence pins that a Groups table spelling out
+// the consecutive layout answers every topology query exactly like the
+// arithmetic rule, including the extension-replica case (N < F+1).
+func TestRingGroupsConsecutiveEquivalence(t *testing.T) {
+	for _, tc := range []struct{ n, f int }{{5, 2}, {2, 2}, {3, 1}, {4, 3}} {
+		base := Ring{N: tc.n, F: tc.f}
+		groups := make([][]int, tc.n)
+		for j := 0; j < tc.n; j++ {
+			groups[j] = base.Members(j)
+		}
+		tab := Ring{N: tc.n, F: tc.f, Groups: groups}
+		m := base.M()
+		if tab.M() != m {
+			t.Fatalf("n=%d f=%d: M %d != %d", tc.n, tc.f, tab.M(), m)
+		}
+		for j := 0; j < tc.n; j++ {
+			if base.Tail(j) != tab.Tail(j) || base.Wrapped(j) != tab.Wrapped(j) {
+				t.Fatalf("n=%d f=%d mb %d: tail/wrapped mismatch", tc.n, tc.f, j)
+			}
+			if !reflect.DeepEqual(base.Members(j), tab.Members(j)) {
+				t.Fatalf("members mismatch for mb %d", j)
+			}
+			for i := 0; i < m; i++ {
+				if base.IsMember(i, j) != tab.IsMember(i, j) ||
+					base.IsTail(i, j) != tab.IsTail(i, j) ||
+					base.PredecessorInGroup(i, j) != tab.PredecessorInGroup(i, j) ||
+					base.SuccessorInGroup(i, j) != tab.SuccessorInGroup(i, j) {
+					t.Fatalf("n=%d f=%d node %d mb %d: group-walk mismatch", tc.n, tc.f, i, j)
+				}
+			}
+		}
+		for i := 0; i < m; i++ {
+			// FollowerOf's listing order is unspecified; compare as sets.
+			bf, tf := base.FollowerOf(i), tab.FollowerOf(i)
+			sort.Ints(bf)
+			sort.Ints(tf)
+			if !reflect.DeepEqual(bf, tf) ||
+				base.TailOf(i) != tab.TailOf(i) ||
+				!reflect.DeepEqual(base.TailsOf(i), tab.TailsOf(i)) {
+				t.Fatalf("n=%d f=%d node %d: follower/tail listing mismatch", tc.n, tc.f, i)
+			}
+		}
+	}
+}
+
+// TestChainCostAwarePlacement runs a chain end to end with the placement
+// planner engaged (CarrierCapacity set) and verifies the plan took effect
+// and replication still converges.
+func TestChainCostAwarePlacement(t *testing.T) {
+	cfg := testConfig()
+	cfg.CarrierCapacity = 1
+	mbs := []Middlebox{
+		&countDeltaMB{countMB{"c0"}},
+		&countDeltaMB{countMB{"c1"}},
+		&countDeltaMB{countMB{"c2"}},
+		&countDeltaMB{countMB{"c3"}},
+	}
+	h := newHarness(t, cfg, mbs, netsim.Config{})
+	if h.chain.Config().Groups == nil {
+		t.Fatal("planner did not produce a placement")
+	}
+	const n = 150
+	h.sendPackets(t, n)
+	h.collect(t, n, 15*time.Second)
+	waitForQuiescence(t, h, n)
+	ring := h.chain.Ring()
+	for j := 0; j < 4; j++ {
+		key := fmt.Sprintf("c%d", j)
+		v, ok := h.chain.Replica(j).Head().Store().Get(key)
+		if !ok || binary.BigEndian.Uint64(v) != n {
+			t.Fatalf("mb %d head = %v %v", j, v, ok)
+		}
+		for _, i := range ring.Members(j)[1:] {
+			fv, ok := h.chain.Replica(i).Follower(uint16(j)).Store().Get(key)
+			if !ok || binary.BigEndian.Uint64(fv) != n {
+				t.Fatalf("mb %d follower at %d = %v %v", j, i, fv, ok)
+			}
+		}
+	}
+}
+
+// TestDietGoodput is the tentpole's performance gate: on a counter chain the
+// diet must cut piggyback wire bytes enough to lift goodput (application
+// bytes per wire byte) by at least 1.3x over the v1 baseline.
+func TestDietGoodput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("goodput measurement")
+	}
+	run := func(noDiet bool) (app, wireB uint64) {
+		cfg := testConfig()
+		cfg.NoDiet = noDiet
+		mbs := []Middlebox{
+			&countDeltaMB{countMB{"c0"}},
+			&dietFlowMB{"fc:"},
+			&countDeltaMB{countMB{"c2"}},
+		}
+		h := newHarness(t, cfg, mbs, netsim.Config{})
+		const n = 600
+		h.sendPackets(t, n)
+		h.collect(t, n, 20*time.Second)
+		waitForQuiescence(t, h, n)
+		for i := 0; i < h.chain.Len(); i++ {
+			s := h.chain.Replica(i).Stats()
+			app += s.AppBytesOut.Load()
+			wireB += s.WireBytesOut.Load()
+		}
+		return app, wireB
+	}
+	appOff, wireOff := run(true)
+	appOn, wireOn := run(false)
+	gOff := float64(appOff) / float64(wireOff)
+	gOn := float64(appOn) / float64(wireOn)
+	t.Logf("goodput: diet off %.4f (%d/%d), diet on %.4f (%d/%d), ratio %.2fx",
+		gOff, appOff, wireOff, gOn, appOn, wireOn, gOn/gOff)
+	if gOn < 1.3*gOff {
+		t.Fatalf("diet goodput %.4f < 1.3x baseline %.4f", gOn, gOff)
+	}
+}

@@ -179,16 +179,16 @@ func TestForwarderUnit(t *testing.T) {
 	// First take attaches the log; an immediate second take must not
 	// (resend interval unexpired).
 	now := time.Now()
-	logs, _ := fwd.take(now, time.Second)
+	logs, _ := fwd.take(now, time.Second, 0)
 	if len(logs) != 1 {
 		t.Fatalf("take1 = %d logs", len(logs))
 	}
-	logs, _ = fwd.take(now.Add(time.Millisecond), time.Second)
+	logs, _ = fwd.take(now.Add(time.Millisecond), time.Second, 0)
 	if len(logs) != 0 {
 		t.Fatal("unexpired log re-attached")
 	}
 	// After the resend interval it is attached again.
-	logs, _ = fwd.take(now.Add(2*time.Second), time.Second)
+	logs, _ = fwd.take(now.Add(2*time.Second), time.Second, 0)
 	if len(logs) != 1 {
 		t.Fatal("overdue log not resent")
 	}
@@ -198,11 +198,11 @@ func TestForwarderUnit(t *testing.T) {
 		t.Fatalf("pending after commit = %d", fwd.pendingLen())
 	}
 	// The stored commit is handed out exactly once.
-	_, commits := fwd.take(now.Add(3*time.Second), time.Second)
+	_, commits := fwd.take(now.Add(3*time.Second), time.Second, 0)
 	if len(commits) != 1 {
 		t.Fatalf("commits = %d", len(commits))
 	}
-	_, commits = fwd.take(now.Add(4*time.Second), time.Second)
+	_, commits = fwd.take(now.Add(4*time.Second), time.Second, 0)
 	if len(commits) != 0 {
 		t.Fatal("commit re-injected twice")
 	}

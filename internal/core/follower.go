@@ -94,6 +94,9 @@ func (f *Follower) apply(l Log, sink *[]Log) ApplyOutcome {
 	}
 	f.lockVec(l.Vec)
 	defer f.unlockVec(l.Vec)
+	if l.Coalesced() {
+		return f.applyCoalescedLocked(l, sink)
+	}
 	if l.Vec.SupersededBy(f.max) {
 		return Duplicate
 	}
@@ -114,6 +117,75 @@ func (f *Follower) apply(l Log, sink *[]Log) ApplyOutcome {
 	l.Vec.AdvanceInto(f.max)
 	// The log's Vec/Updates arrays may live in a per-worker decode scratch;
 	// clone them before the retransmission buffer outlives the packet.
+	if sink != nil {
+		*sink = append(*sink, l.Retain())
+	} else {
+		f.buf.add(l.Retain())
+	}
+	f.wake()
+	return Applied
+}
+
+// applyCoalescedLocked installs a burst-coalesced log (apply locks held).
+// Vec holds the run's last sequence per partition and Base its first.
+//
+// Each partition applies INDEPENDENTLY: a run is an encoding artifact, not
+// a transaction — the protocol's ordering constraint is per partition (the
+// dependency vectors define nothing stronger), and a run's per-key updates
+// are themselves per partition. Demanding the whole run apply atomically
+// deadlocks: two workers' concurrently open runs can interleave on
+// different partitions in opposite orders (run A covers part p before run
+// C but part q after it), leaving each run waiting on the other's base.
+// Per-partition application makes progress on every delivery; partitions
+// left behind complete on a later resend or repair retransmission.
+//
+// A partition whose MAX lands strictly inside the run (a recovery snapshot
+// already holds a prefix of the run's writes — the head's vector advances
+// per transaction, not per run) still applies when the updates carry full
+// values: re-installing last-writer values is idempotent. A delta update
+// would double-count there, so such a partition waits for the full-value
+// form that repair serves from the predecessor's buffer.
+func (f *Follower) applyCoalescedLocked(l Log, sink *[]Log) ApplyOutcome {
+	var upds []state.Update
+	applied, behind := false, false
+	for i := range l.Vec {
+		p, end, base := l.Vec[i].Part, l.Vec[i].Seq, l.Base[i].Seq
+		switch {
+		case f.max[p] > end:
+			continue // this partition already past the run
+		case f.max[p] < base:
+			behind = true // earlier logs missing; leave for repair/resend
+			continue
+		case f.max[p] > base:
+			// Mid-run: only idempotent full values may re-install.
+			delta := false
+			for j := range l.Updates {
+				u := &l.Updates[j]
+				if u.Partition == p && u.Value == nil && u.Flags&state.UpdateDelta != 0 {
+					delta = true
+					break
+				}
+			}
+			if delta {
+				behind = true
+				continue
+			}
+		}
+		for j := range l.Updates {
+			if l.Updates[j].Partition == p {
+				upds = append(upds, l.Updates[j])
+			}
+		}
+		f.max[p] = end + 1
+		applied = true
+	}
+	if !applied {
+		if behind {
+			return Blocked
+		}
+		return Duplicate
+	}
+	f.store.ApplyOwned(upds)
 	if sink != nil {
 		*sink = append(*sink, l.Retain())
 	} else {
@@ -205,6 +277,24 @@ func (f *Follower) Max() []uint64 {
 		f.locks[i].Unlock()
 	}
 	return out
+}
+
+// Fetch atomically snapshots the follower's MAX vector, retransmission
+// buffer and store under all apply locks. Recovery must ship a consistent
+// cut: a MAX torn against the snapshot would make a delta update, or a
+// multi-partition log racing the copy, double-apply or vanish at the
+// recovered replica.
+func (f *Follower) Fetch() (max []uint64, logs []Log, snap []state.Update) {
+	for i := range f.locks {
+		f.locks[i].Lock()
+	}
+	max = CloneDense(f.max)
+	logs = f.buf.all()
+	snap = f.store.Snapshot()
+	for i := len(f.locks) - 1; i >= 0; i-- {
+		f.locks[i].Unlock()
+	}
+	return max, logs, snap
 }
 
 // RestoreMax installs a MAX vector (recovery initialization).

@@ -67,6 +67,9 @@ func (f *forwarder) addTransfer(m *Message) {
 		f.commits[c.MB] = mergeSparseMax(prev, c.Vec)
 	}
 	for _, l := range m.Logs {
+		if l.Elided() {
+			continue // vec-only markers die at the buffer; never recirculate
+		}
 		if f.committedLocked(l) {
 			continue
 		}
@@ -122,18 +125,24 @@ const takeBatch = 64
 
 // take returns the piggyback content to attach to the next packet entering
 // the chain: pending logs never attached (or overdue for resend, oldest
-// first, at most takeBatch of them) and every commit vector received since
-// the last take.
-func (f *forwarder) take(now time.Time, resendAfter time.Duration) ([]Log, []Commit) {
+// first, at most takeBatch of them, and at most budget estimated bytes when
+// budget > 0 — always at least one log, so a single oversize log still
+// drains) and every commit vector received since the last take.
+func (f *forwarder) take(now time.Time, resendAfter time.Duration, budget int) ([]Log, []Commit) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var logs []Log
+	bytes := 0
 	for i := range f.pending {
 		if len(logs) >= takeBatch {
 			break
 		}
 		p := &f.pending[i]
 		if p.sentAt.IsZero() || now.Sub(p.sentAt) >= resendAfter {
+			if budget > 0 && len(logs) > 0 && bytes+logLenEstimate(&p.log) > budget {
+				break
+			}
+			bytes += logLenEstimate(&p.log)
 			p.sentAt = now
 			logs = append(logs, p.log)
 		}

@@ -17,6 +17,15 @@ type Head struct {
 	store state.Backend
 	vec   []atomic.Uint64 // one sequence number per state partition
 	buf   *logBuffer
+	// fetchMu keeps recovery fetches off transaction commit points: the
+	// read side is held across every transaction — per call in Transaction,
+	// burst-wide by replica workers around TransactionBatch (a batch holds
+	// partition locks between transactions, so a per-transaction read lock
+	// could deadlock against a pending writer) — and Fetch takes the write
+	// side, so a fetched (vector, snapshot) pair always sits on a
+	// transaction boundary. A torn pair would make a recovered follower
+	// double-apply delta updates or drop a multi-partition log's writes.
+	fetchMu sync.RWMutex
 }
 
 // NewHead creates a head for middlebox mb over the given store.
@@ -69,6 +78,8 @@ func (h *Head) RestoreVector(v []uint64) {
 // then increments them, unless the transaction was read-only, in which case
 // the observed values are stamped and nothing advances (§4.3).
 func (h *Head) Transaction(fn func(tx state.Txn) error) (Log, error) {
+	h.fetchMu.RLock()
+	defer h.fetchMu.RUnlock()
 	log, err := h.transactionOn(h.store, fn)
 	if err == nil && !log.Noop() {
 		h.buf.add(log)
@@ -79,10 +90,15 @@ func (h *Head) Transaction(fn func(tx state.Txn) error) (Log, error) {
 // TransactionBatch is Transaction executed through a worker's state batch:
 // partition locks acquired by earlier transactions in the burst are reused,
 // and the retransmission-buffer append is left to the caller (burst workers
-// collect logs and flush them in one addAll at the burst boundary).
+// collect logs and flush them in one addAll at the burst boundary). The
+// caller must hold FetchGate's read side across the whole burst.
 func (h *Head) TransactionBatch(b state.Batch, fn func(tx state.Txn) error) (Log, error) {
 	return h.transactionOn(b, fn)
 }
+
+// FetchGate exposes the fetch/transaction exclusion lock so burst workers
+// can hold the read side across a whole batch (see fetchMu).
+func (h *Head) FetchGate() *sync.RWMutex { return &h.fetchMu }
 
 // execer is the common transaction surface of state.Backend and state.Batch.
 type execer interface {

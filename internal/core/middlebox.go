@@ -46,3 +46,23 @@ type Middlebox interface {
 type FlowTTLer interface {
 	FlowTTLPrefixes() []string
 }
+
+// DeltaPrefixer is the optional middlebox extension that opts keys into
+// delta encoding under the piggyback diet: writes to keys matching a prefix
+// whose old and new values are both 8-byte big-endian integers travel as a
+// signed varint difference instead of the full value. Counters are the
+// intended use; any key whose value is not such an integer at write time
+// silently falls back to full-value form, so prefixes are safe to
+// over-approximate.
+type DeltaPrefixer interface {
+	DeltaPrefixes() []string
+}
+
+// CarrierCoster is the optional middlebox extension that estimates the
+// middlebox's per-packet piggyback byte cost (how much update state a
+// typical packet makes this middlebox attach). The cost-aware placement
+// planner (Config.CarrierCapacity) uses it to give the costliest states the
+// shortest replication rides. Middleboxes without it cost 1.
+type CarrierCoster interface {
+	CarrierCost() float64
+}

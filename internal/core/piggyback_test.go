@@ -43,6 +43,7 @@ func TestMessageRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.Ver = msgV1 // decode records the inbound wire dialect
 	if !reflect.DeepEqual(m, got) {
 		t.Fatalf("round trip mismatch:\n want %+v\n got  %+v", m, got)
 	}
@@ -208,6 +209,7 @@ func TestManyLogsAndCommits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.Ver = msgV1 // decode records the inbound wire dialect
 	if !reflect.DeepEqual(m, got) {
 		t.Fatal("many-log round trip mismatch")
 	}

@@ -1,0 +1,52 @@
+package core
+
+import "sort"
+
+// PlanGroups computes a cost-aware replication placement: for each of the n
+// middleboxes it picks f follower nodes on the ring of m = max(n, f+1)
+// servers, charging each follower role against the node's CarrierCapacity
+// and assigning the costliest states first so they get the nearest-downstream
+// (shortest piggyback ride) slots still free. cost(j) is middlebox j's
+// estimated per-packet piggyback byte cost (see CarrierCoster).
+//
+// The returned groups are in packet-traversal order from the head (strictly
+// increasing ring distance), as Ring.Groups requires. When every node has
+// capacity for f follower roles the plan degenerates to the consecutive
+// layout Ring uses by default. PlanGroups returns nil — meaning "use the
+// default consecutive layout" — when f <= 0, capacity <= 0, or the total
+// capacity cannot host f roles per middlebox.
+func PlanGroups(n, f, capacity int, cost func(mb int) float64) [][]int {
+	r := Ring{N: n, F: f}
+	m := r.M()
+	if n <= 0 || f <= 0 || capacity <= 0 || capacity*m < f*n {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cost(order[a]) > cost(order[b])
+	})
+	load := make([]int, m)
+	groups := make([][]int, n)
+	for _, j := range order {
+		g := make([]int, 1, f+1)
+		g[0] = j
+		for d := 1; d < m && len(g) < f+1; d++ {
+			p := (j + d) % m
+			if load[p] < capacity {
+				load[p]++
+				g = append(g, p)
+			}
+		}
+		if len(g) < f+1 {
+			// A greedy dead end (capacity was total-feasible but this head's
+			// reachable nodes are saturated): fall back to the default layout
+			// rather than ship a partial plan.
+			return nil
+		}
+		groups[j] = g
+	}
+	return groups
+}

@@ -28,6 +28,17 @@ type Stats struct {
 	Duplicates    atomic.Uint64 // duplicate logs suppressed
 	MBErrors      atomic.Uint64 // middlebox processing errors
 	Propagating   atomic.Uint64 // propagating packets emitted
+
+	// Goodput accounting on the inter-replica hops (bytes). AppBytesOut is
+	// the application frame (headers + payload) before the trailer went on;
+	// PiggybackBytesOut is everything added for replication — trailers,
+	// carrier and transfer frames, spillover RPC bodies; WireBytesOut is
+	// their sum, the total bytes put on chain links. Goodput is
+	// AppBytesOut/WireBytesOut.
+	AppBytesOut       atomic.Uint64
+	PiggybackBytesOut atomic.Uint64
+	WireBytesOut      atomic.Uint64
+	SpilledLogs       atomic.Uint64 // logs diverted to the spillover RPC by the byte budget
 }
 
 // SchedStats exposes the scheduling layer's observability (DESIGN.md §9):
@@ -67,6 +78,10 @@ type Replica struct {
 
 	fwd *forwarder    // non-nil on ring node 0
 	buf *egressBuffer // non-nil on the last ring node
+
+	diet  bool  // piggyback diet on: v2 wire, coalescing, delta updates
+	ver   uint8 // wire version stamped on every message this replica builds
+	tails []int // middleboxes whose group tail sits at this node (precomputed)
 
 	wrapOnce sync.Once
 	wrapped  []uint16 // middleboxes with wrapped groups (buffer bookkeeping)
@@ -109,6 +124,12 @@ type ReplicaSpec struct {
 	// a replica needs the mapping for every middlebox it follows, not just
 	// the one it hosts, so follower stores arm the same TTLs as the head.
 	TTLPrefixes func(mb int) []string
+	// DeltaPrefixes maps a middlebox index to the key prefixes whose 8-byte
+	// counter values travel as deltas under the piggyback diet (nil = no
+	// delta encoding for that middlebox). The chain derives it from each
+	// middlebox's DeltaPrefixer implementation; only the hosted middlebox's
+	// head store classifies, so only its prefixes matter here.
+	DeltaPrefixes func(mb int) []string
 }
 
 // NewReplica wires up (but does not start) a chain replica.
@@ -130,6 +151,12 @@ func NewReplica(cfg Config, spec ReplicaSpec) *Replica {
 		stopped:    make(chan struct{}),
 	}
 	r.gen.Store(cfg.Gen)
+	r.diet = !cfg.NoDiet
+	r.ver = msgV2
+	if cfg.NoDiet {
+		r.ver = msgV1
+	}
+	r.tails = ring.TailsOf(spec.Index)
 	ttlFor := func(mb int) []string {
 		if cfg.FlowTTL <= 0 || spec.TTLPrefixes == nil {
 			return nil
@@ -148,6 +175,13 @@ func NewReplica(cfg Config, spec ReplicaSpec) *Replica {
 		if pre := ttlFor(spec.Index); len(pre) > 0 {
 			armTTL(r.head.Store(), pre)
 			r.expiryOn = true
+		}
+		if r.diet && spec.DeltaPrefixes != nil {
+			// Only the head classifies deltas (at its commit points);
+			// followers merely resolve them on apply, which needs no config.
+			if pre := spec.DeltaPrefixes(spec.Index); len(pre) > 0 {
+				r.head.Store().ConfigureDelta(pre)
+			}
 		}
 	}
 	for _, j := range ring.FollowerOf(spec.Index) {
@@ -321,6 +355,10 @@ type worker struct {
 	pendF    []*Follower
 	pendL    []Log // follower appends; pendF[i] buffers pendL[i]
 
+	co    coalescer // open coalesced run (diet mode); never spans a flush
+	spill []Log     // over-budget logs awaiting the spillover RPC at the flush
+	xfer  []Log     // buffer-transfer scratch: logs minus elided markers
+
 	last      bool // processing the burst's final frame (flush boundary)
 	dissemDue bool // a commitEvery tick fired; disseminate at the boundary
 }
@@ -339,6 +377,14 @@ func (r *Replica) newWorker() *worker {
 // exactly — bursting never adds a latency floor.
 func (r *Replica) handleBurst(w *worker, n int) {
 	w.fp.dec.BeginBurst()
+	if r.head != nil {
+		// Fetch gate, held burst-wide: the batch keeps partition locks
+		// between transactions, so a per-transaction read lock could deadlock
+		// against a pending fetch writer. flushBurst releases it once the
+		// burst's logs are in the retransmission buffer and the batch has
+		// flushed — the earliest point a fetch sees a consistent cut.
+		r.head.fetchMu.RLock()
+	}
 	for i := 0; i < n; i++ {
 		w.last = i == n-1
 		if !r.handleFrame(w.in[i], &w.fp, w) {
@@ -353,6 +399,11 @@ func (r *Replica) handleBurst(w *worker, n int) {
 // batch flush, one buffer-release scan. Frames recycle only after the burst
 // sends have copied them into the fabric.
 func (r *Replica) flushBurst(w *worker) {
+	// Safety net for the coalescer: a run is normally closed onto the
+	// burst's last data packet, but if that frame never reached the
+	// transaction stage (parse error, stale gen, buffer transfer) the run is
+	// still open here and rides its own propagating carrier.
+	r.flushRun(w)
 	if len(w.out) > 0 {
 		if next := r.nextHop(); next != "" {
 			if err := r.sim.SendBurstBlocking(next, w.out); err == nil {
@@ -391,6 +442,16 @@ func (r *Replica) flushBurst(w *worker) {
 	}
 	if w.batch != nil {
 		w.batch.Flush()
+	}
+	if r.head != nil {
+		// End of the fetch gate (see handleBurst). Must drop before
+		// maybeExpire: the expiry transaction re-enters the read lock, which
+		// deadlocks if a fetch writer is already queued behind this burst.
+		r.head.fetchMu.RUnlock()
+	}
+	if len(w.spill) > 0 {
+		r.spillLogs(w.spill)
+		clearLogs(&w.spill)
 	}
 	if r.expiryOn {
 		// Flow aging rides the burst cadence: no extra goroutine touches
@@ -499,11 +560,13 @@ func (r *Replica) handleFrame(in netsim.Inbound, fp *fastPath, w *worker) bool {
 			r.stats.ParseErrors.Add(1)
 			return false
 		}
-		logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter)
+		logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter, r.cfg.PiggybackBudget)
 		msg = &fp.ingress
 		// Copy into the reused ingress arrays so the head-log append below
 		// stays within amortized capacity instead of reallocating per packet.
+		msg.Ver = r.ver
 		msg.Flags = 0
+		msg.FullValues = false
 		msg.Gen = gen
 		msg.Logs = append(msg.Logs[:0], logs...)
 		msg.Commits = append(msg.Commits[:0], commits...)
@@ -542,7 +605,7 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 	r.mergeCommits(msg.Commits)
 	kept := msg.Commits[:0]
 	for _, c := range msg.Commits {
-		if r.ring.TailOf(r.idx) == int(c.MB) {
+		if r.ring.IsTail(r.idx, int(c.MB)) {
 			continue
 		}
 		kept = append(kept, c)
@@ -558,6 +621,14 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 	}
 	keptLogs := msg.Logs[:0]
 	for _, l := range msg.Logs {
+		if l.Elided() {
+			// Vector-only marker: the substance travels on another packet (a
+			// coalesced run or the spillover RPC). Nothing to apply and never
+			// stripped — the marker rides to the egress buffer, gates the
+			// packet's release against the commit vector, and dies there.
+			keptLogs = append(keptLogs, l)
+			continue
+		}
 		if r.head != nil && l.MB == r.head.MB() {
 			continue // our own log completed the loop (only when wrapped and repair raced)
 		}
@@ -577,7 +648,7 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 				w.pendF = append(w.pendF, f)
 			}
 		}
-		if r.ring.TailOf(r.idx) == int(l.MB) {
+		if r.ring.IsTail(r.idx, int(l.MB)) {
 			continue // f+1 times replicated; strip (§5.1)
 		}
 		keptLogs = append(keptLogs, l)
@@ -597,11 +668,9 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 		}
 		var log Log
 		var err error
-		if w != nil && w.batch != nil {
+		batching := w != nil && w.batch != nil
+		if batching {
 			log, err = r.head.TransactionBatch(w.batch, fn)
-			if err == nil && !log.Noop() {
-				w.headLogs = append(w.headLogs, log)
-			}
 		} else {
 			log, err = r.head.Transaction(fn)
 		}
@@ -610,7 +679,22 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 			verdict = Drop
 			log = Log{MB: r.head.MB(), Flags: LogNoop}
 		}
-		msg.Logs = append(msg.Logs, log)
+		if r.diet && batching {
+			r.attachDiet(msg, log, w, w.last || verdict == Drop)
+		} else {
+			if batching && err == nil && !log.Noop() {
+				w.headLogs = append(w.headLogs, log)
+			}
+			if batching && !log.Noop() && r.overBudget(msg, &log) {
+				// Over the byte budget: only the dependency vector rides (to
+				// gate release at the egress buffer); the updates go to the
+				// group followers over the spillover RPC at the flush.
+				msg.Logs = append(msg.Logs, Log{MB: log.MB, Flags: log.Flags | LogElided, Vec: log.Vec})
+				w.spill = append(w.spill, log)
+			} else {
+				msg.Logs = append(msg.Logs, log)
+			}
+		}
 		if verdict == Drop {
 			r.stats.Filtered.Add(1)
 			// The filtered packet's piggyback message continues on a
@@ -629,7 +713,7 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 	// MAX snapshot rides the burst's last packet (CommitRefresh still bounds
 	// staleness in time). With Burst=1 every packet is a boundary, which is
 	// exactly the per-packet schedule.
-	if j := r.ring.TailOf(r.idx); j >= 0 {
+	if len(r.tails) > 0 {
 		disseminate := msg.Propagating()
 		if !disseminate {
 			if w == nil {
@@ -645,16 +729,21 @@ func (r *Replica) processPacket(pkt *wire.Packet, msg *Message, w *worker) bool 
 			}
 		}
 		if disseminate {
-			var dense []uint64
-			if f := r.followers[uint16(j)]; f != nil {
-				dense = f.Max()
-			} else if r.head != nil && int(r.head.MB()) == j {
-				dense = r.head.Vector() // F == 0: the head is its own tail
-			}
-			if dense != nil {
-				sv := SparseFromDense(dense)
-				r.mergeCommit(uint16(j), sv)
-				msg.Commits = append(msg.Commits, Commit{MB: uint16(j), Vec: sv})
+			// Under explicit placement a node can tail several groups; each
+			// gets its commit minted here (the arithmetic layout has at most
+			// one).
+			for _, j := range r.tails {
+				var dense []uint64
+				if f := r.followers[uint16(j)]; f != nil {
+					dense = f.Max()
+				} else if r.head != nil && int(r.head.MB()) == j {
+					dense = r.head.Vector() // F == 0: the head is its own tail
+				}
+				if dense != nil {
+					sv := SparseFromDense(dense)
+					r.mergeCommit(uint16(j), sv)
+					msg.Commits = append(msg.Commits, Commit{MB: uint16(j), Vec: sv})
+				}
 			}
 		}
 	}
@@ -671,9 +760,18 @@ func (r *Replica) forward(pkt *wire.Packet, msg *Message, w *worker) {
 	// Encode the trailer by appending straight onto the frame: no
 	// intermediate body buffer, and on pooled frames with headroom no
 	// allocation at all.
+	pre := len(pkt.Buf)
 	if err := pkt.AppendTrailer(msg); err != nil {
 		r.stats.ParseErrors.Add(1)
 		return
+	}
+	r.stats.WireBytesOut.Add(uint64(len(pkt.Buf)))
+	r.stats.PiggybackBytesOut.Add(uint64(len(pkt.Buf) - pre))
+	if !msg.Propagating() {
+		r.stats.AppBytesOut.Add(uint64(pre))
+	} else {
+		// Carrier frames are pure replication overhead, template included.
+		r.stats.PiggybackBytesOut.Add(uint64(pre))
 	}
 	if w != nil {
 		// Burst path: the frame joins the worker's outgoing burst; the
@@ -693,6 +791,110 @@ func (r *Replica) forward(pkt *wire.Packet, msg *Message, w *worker) {
 	}
 }
 
+// attachDiet routes a burst transaction's log through the diet machinery
+// (burst workers only): write logs feed the worker's coalescer and ride the
+// packet as elided vector-only markers; the coalesced run closes onto the
+// burst's last data packet, onto the current packet when another worker
+// interleaves a transaction on a shared partition, or onto the spillover
+// path when the byte budget is hit. closing forces the run out now — the
+// burst's final frame, or a Drop verdict about to divert the message onto a
+// propagating carrier.
+func (r *Replica) attachDiet(msg *Message, log Log, w *worker, closing bool) {
+	if log.Noop() || len(log.Vec) == 0 {
+		// Noops install nothing; their vector only gates this packet's
+		// release. They ride elided — a full noop log would carry observed
+		// sequence numbers of coalesced writes not yet shipped, blocking
+		// followers — and a vec-less noop (error fallback) gates nothing, so
+		// it leaves the wire entirely.
+		if len(log.Vec) > 0 {
+			msg.Logs = append(msg.Logs, Log{MB: log.MB, Flags: log.Flags | LogElided, Vec: log.Vec})
+		}
+		if closing {
+			r.closeRun(msg, w)
+		}
+		return
+	}
+	if !w.co.absorb(&log) {
+		r.closeRun(msg, w) // interleaved writer: the run can't extend; close it here
+		w.co.absorb(&log)
+	}
+	if closing {
+		r.closeRun(msg, w) // the run — including this transaction — rides this packet
+		return
+	}
+	msg.Logs = append(msg.Logs, Log{MB: log.MB, Flags: LogElided, Vec: log.Vec})
+}
+
+// closeRun finalizes the worker's open coalesced run onto msg — or, when it
+// would blow the packet's byte budget, onto the spillover path with only an
+// elided marker left on the packet to gate its release.
+func (r *Replica) closeRun(msg *Message, w *worker) {
+	if !w.co.active {
+		return
+	}
+	run := w.co.finalize()
+	w.headLogs = append(w.headLogs, run)
+	if r.overBudget(msg, &run) {
+		msg.Logs = append(msg.Logs, Log{MB: run.MB, Flags: LogElided, Vec: run.Vec})
+		w.spill = append(w.spill, run)
+		return
+	}
+	msg.Logs = append(msg.Logs, run)
+}
+
+// flushRun closes a run still open at the burst flush (the last frame never
+// reached the transaction stage) onto its own propagating carrier. Each of
+// the run's transactions already left an elided marker on its data packet,
+// so release gating is covered; only the substance needs a ride.
+func (r *Replica) flushRun(w *worker) {
+	if !w.co.active {
+		return
+	}
+	run := w.co.finalize()
+	w.headLogs = append(w.headLogs, run)
+	if b := r.cfg.PiggybackBudget; b > 0 && 16+logLenEstimate(&run) > b {
+		w.spill = append(w.spill, run) // too big even for a carrier frame
+		return
+	}
+	msg := &Message{Ver: r.ver, Gen: r.gen.Load(), Logs: []Log{run}}
+	r.emitPropagating(msg, w)
+}
+
+// overBudget reports whether attaching l would push the packet's piggyback
+// trailer past Config.PiggybackBudget.
+func (r *Replica) overBudget(msg *Message, l *Log) bool {
+	b := r.cfg.PiggybackBudget
+	if b <= 0 {
+		return false
+	}
+	return msg.LenEstimate()+logLenEstimate(l) > b
+}
+
+// spillLogs pushes over-budget logs of this node's own middlebox to its
+// group followers over the spillover RPC, full values forced (a spilled
+// delta would need receiver context the RPC path does not guarantee).
+// Failures are ignored: the logs sit in the head's retransmission buffer,
+// and the resend loop re-pushes anything whose commits stall.
+func (r *Replica) spillLogs(logs []Log) {
+	if r.head == nil || len(logs) == 0 {
+		return
+	}
+	mb := int(r.head.MB())
+	msg := &Message{Ver: r.ver, FullValues: true, Gen: r.gen.Load(), Logs: logs}
+	body := msg.Encode(nil)
+	r.stats.SpilledLogs.Add(uint64(len(logs)))
+	members := r.ring.Members(mb)
+	for _, m := range members[1:] {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, err := r.fabric.Call(ctx, r.sim.ID(), r.ringID(m), rpcSpill, body)
+		cancel()
+		if err == nil {
+			r.stats.WireBytesOut.Add(uint64(len(body)))
+			r.stats.PiggybackBytesOut.Add(uint64(len(body)))
+		}
+	}
+}
+
 // mergeCommit folds a commit vector into the replica's view. Retransmission
 // buffers are pruned on an amortized schedule: commits arrive on every
 // packet, but an O(buffer) scan per packet would dominate the data plane
@@ -709,7 +911,9 @@ func (r *Replica) mergeCommit(mb uint16, v SparseVec) {
 			seen[e.Part] = e.Seq
 		}
 	}
-	if r.buf != nil && r.ring.Wrapped(int(mb)) {
+	if r.buf != nil {
+		// Any middlebox's commit can unblock held packets: elided markers
+		// gate release on every group, not just wrapped ones.
 		r.releaseDirty.Store(true)
 	}
 	r.pruneTick[mb]++
@@ -755,8 +959,8 @@ func (r *Replica) mergeCommits(commits []Commit) {
 				seen[e.Part] = e.Seq
 			}
 		}
-		if r.buf != nil && r.ring.Wrapped(int(c.MB)) {
-			r.releaseDirty.Store(true)
+		if r.buf != nil {
+			r.releaseDirty.Store(true) // see mergeCommit
 		}
 		r.pruneTick[c.MB]++
 		if r.pruneTick[c.MB] >= 128 {
@@ -858,11 +1062,11 @@ func (r *Replica) propagateLoop() {
 			// Drain the whole pending backlog in bounded batches so a
 			// traffic burst's worth of wrapped logs replicates promptly.
 			for {
-				logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter)
+				logs, commits := r.fwd.take(time.Now(), r.cfg.ResendAfter, r.cfg.PiggybackBudget)
 				if len(logs) == 0 && len(commits) == 0 {
 					break
 				}
-				msg := &Message{Gen: r.gen.Load(), Flags: FlagPropagating, Logs: logs, Commits: commits}
+				msg := &Message{Ver: r.ver, Gen: r.gen.Load(), Flags: FlagPropagating, Logs: logs, Commits: commits}
 				r.processPacket(mustCarrier(), msg, nil)
 				if len(logs) < takeBatch {
 					break
@@ -929,8 +1133,23 @@ func (r *Replica) resendLoop() {
 			if len(logs) > takeBatch {
 				logs = logs[:takeBatch]
 			}
+			if b := r.cfg.PiggybackBudget; b > 0 {
+				// Oversize logs cannot ride a carrier frame (it is a data
+				// frame, MTU applies); re-push those over the spillover RPC.
+				carry := logs[:0]
+				var oversize []Log
+				for _, l := range logs {
+					if 16+logLenEstimate(&l) > b {
+						oversize = append(oversize, l)
+					} else {
+						carry = append(carry, l)
+					}
+				}
+				logs = carry
+				r.spillLogs(oversize)
+			}
 			if len(logs) > 0 {
-				msg := &Message{Gen: r.gen.Load(), Logs: logs}
+				msg := &Message{Ver: r.ver, Gen: r.gen.Load(), Logs: logs}
 				r.emitPropagating(msg, nil)
 			}
 		}
@@ -1000,7 +1219,7 @@ func (r *Replica) expireOnce(now int64) int {
 	if err != nil || log.Noop() {
 		return 0
 	}
-	msg := &Message{Gen: r.gen.Load(), Logs: []Log{log}}
+	msg := &Message{Ver: r.ver, Gen: r.gen.Load(), Logs: []Log{log}}
 	r.emitPropagating(msg, nil)
 	return deleted
 }

@@ -2,11 +2,19 @@ package core
 
 // Ring models the chain's logical ring (§5): N middleboxes hosted on ring
 // positions 0..N-1, plus extension replicas when the chain is shorter than
-// f+1 (§5.1), for a total of M = max(N, F+1) ring nodes. The replication
-// group of middlebox j is the F+1 consecutive ring nodes starting at j.
+// f+1 (§5.1), for a total of M = max(N, F+1) ring nodes. With Groups nil,
+// the replication group of middlebox j is the F+1 consecutive ring nodes
+// starting at j — the paper's default layout.
 type Ring struct {
 	N int // number of middleboxes
 	F int // failures tolerated
+	// Groups, when non-nil, overrides the consecutive-successors layout with
+	// an explicit placement: Groups[j] lists the F+1 ring positions of
+	// middlebox j's replication group, head (position j) first, then the
+	// followers in packet-traversal order from the head. Cost-aware carrier
+	// placement produces such tables; a nil Groups is bit-identical to the
+	// arithmetic rule.
+	Groups [][]int
 }
 
 // M reports the ring size: chain nodes plus extension replicas.
@@ -20,6 +28,9 @@ func (r Ring) M() int {
 // Members lists the ring nodes in middlebox j's replication group, head
 // first.
 func (r Ring) Members(j int) []int {
+	if r.Groups != nil {
+		return append([]int(nil), r.Groups[j]...)
+	}
 	m := r.M()
 	out := make([]int, r.F+1)
 	for k := 0; k <= r.F; k++ {
@@ -32,20 +43,45 @@ func (r Ring) Members(j int) []int {
 func (r Ring) Head(j int) int { return j }
 
 // Tail returns middlebox j's tail node.
-func (r Ring) Tail(j int) int { return (j + r.F) % r.M() }
+func (r Ring) Tail(j int) int {
+	if r.Groups != nil {
+		g := r.Groups[j]
+		return g[len(g)-1]
+	}
+	return (j + r.F) % r.M()
+}
 
 // IsMember reports whether ring node i is in middlebox j's group.
 func (r Ring) IsMember(i, j int) bool {
+	if r.Groups != nil {
+		for _, n := range r.Groups[j] {
+			if n == i {
+				return true
+			}
+		}
+		return false
+	}
 	m := r.M()
 	d := ((i-j)%m + m) % m
 	return d <= r.F
 }
 
 // FollowerOf lists the middleboxes ring node i follows (is a non-head
-// member of): the F middleboxes preceding it on the ring that exist.
+// member of).
 func (r Ring) FollowerOf(i int) []int {
-	m := r.M()
 	var out []int
+	if r.Groups != nil {
+		for j := 0; j < r.N; j++ {
+			for _, n := range r.Groups[j][1:] {
+				if n == i {
+					out = append(out, j)
+					break
+				}
+			}
+		}
+		return out
+	}
+	m := r.M()
 	for k := 1; k <= r.F; k++ {
 		j := ((i-k)%m + m) % m
 		if j < r.N {
@@ -55,8 +91,19 @@ func (r Ring) FollowerOf(i int) []int {
 	return out
 }
 
-// TailOf returns the middlebox ring node i is the tail of, or -1.
+// TailOf returns the middlebox ring node i is the tail of, or -1. With an
+// explicit placement several groups can share a tail node; TailOf then
+// returns the lowest such middlebox — callers that must see every group use
+// TailsOf.
 func (r Ring) TailOf(i int) int {
+	if r.Groups != nil {
+		for j := 0; j < r.N; j++ {
+			if r.Tail(j) == i {
+				return j
+			}
+		}
+		return -1
+	}
 	m := r.M()
 	j := ((i-r.F)%m + m) % m
 	if j < r.N {
@@ -65,10 +112,35 @@ func (r Ring) TailOf(i int) int {
 	return -1
 }
 
+// TailsOf lists every middlebox whose group tail sits at ring node i.
+func (r Ring) TailsOf(i int) []int {
+	var out []int
+	for j := 0; j < r.N; j++ {
+		if r.Tail(j) == i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// IsTail reports whether ring node i is middlebox j's group tail.
+func (r Ring) IsTail(i, j int) bool {
+	return j >= 0 && j < r.N && r.Tail(j) == i
+}
+
 // PredecessorInGroup returns the ring node before i within middlebox j's
 // group (the head has no predecessor; returns -1).
 func (r Ring) PredecessorInGroup(i, j int) int {
 	if !r.IsMember(i, j) || i == j {
+		return -1
+	}
+	if r.Groups != nil {
+		g := r.Groups[j]
+		for k := 1; k < len(g); k++ {
+			if g[k] == i {
+				return g[k-1]
+			}
+		}
 		return -1
 	}
 	m := r.M()
@@ -81,10 +153,25 @@ func (r Ring) SuccessorInGroup(i, j int) int {
 	if !r.IsMember(i, j) || i == r.Tail(j) {
 		return -1
 	}
+	if r.Groups != nil {
+		g := r.Groups[j]
+		for k := 0; k < len(g)-1; k++ {
+			if g[k] == i {
+				return g[k+1]
+			}
+		}
+		return -1
+	}
 	return (i + 1) % r.M()
 }
 
-// Wrapped reports whether middlebox j's group wraps past the last ring node
-// — i.e. its tail sits at the beginning of the chain, so the buffer must
-// hold packets until j's commit vector confirms replication (§5.1).
-func (r Ring) Wrapped(j int) bool { return j+r.F >= r.M() }
+// Wrapped reports whether middlebox j's group finishes replicating only
+// after the packet has already left node j — its tail sits at or before the
+// head's chain position — so the buffer must hold packets until j's commit
+// vector confirms replication (§5.1).
+func (r Ring) Wrapped(j int) bool {
+	if r.Groups != nil {
+		return r.F > 0 && r.Tail(j) <= j
+	}
+	return j+r.F >= r.M()
+}

@@ -115,7 +115,29 @@ type SUT struct {
 	Gen     *tgen.Generator
 	Sink    *tgen.Sink
 	Servers int
+	chain   *core.Chain // FTC only; nil for the other systems
 	closers []func()
+}
+
+// Goodput reports the FTC chain's app-bytes/wire-bytes ratio summed over all
+// inter-replica hops since deployment: the fraction of replica egress that is
+// application payload rather than piggyback overhead (trailers, carrier and
+// transfer frames, spillover RPC bodies). It returns 0 for non-FTC systems
+// and before any packet has been forwarded.
+func (s *SUT) Goodput() float64 {
+	if s.chain == nil {
+		return 0
+	}
+	var app, wire uint64
+	for i := 0; i < s.chain.Len(); i++ {
+		st := s.chain.Replica(i).Stats()
+		app += st.AppBytesOut.Load()
+		wire += st.WireBytesOut.Load()
+	}
+	if wire == 0 {
+		return 0
+	}
+	return float64(app) / float64(wire)
 }
 
 // Close tears the SUT down.
@@ -181,6 +203,7 @@ func buildSUT(kind Kind, factory MBFactory, o buildOpts) (*SUT, error) {
 			NoSteal: o.noSteal, FlowTTL: o.flowTTL}
 		c := core.NewChain(cfg, fabric, "ftc", mbs, sink.ID())
 		c.Start()
+		s.chain = c
 		s.closers = append(s.closers, c.Stop)
 		s.Servers = c.Len()
 		ingress = c.IngressID()

@@ -35,6 +35,10 @@ func (c *FlowCounter) Prefix() string { return c.prefix }
 // per-flow, so the whole prefix ages out under Config.FlowTTL.
 func (c *FlowCounter) FlowTTLPrefixes() []string { return []string{c.prefix} }
 
+// DeltaPrefixes implements core.DeltaPrefixer: flow counters are 8-byte
+// big-endian integers, so their updates ship as varint deltas.
+func (c *FlowCounter) DeltaPrefixes() []string { return []string{c.prefix} }
+
 // Key returns the state-store key this middlebox uses for a flow; external
 // auditors use it to look up a packet's counter in replica snapshots.
 func (c *FlowCounter) Key(t wire.FiveTuple) string { return flowKey(c.prefix, t) }

@@ -75,6 +75,11 @@ func NewMonitor(sharing, workers int) *Monitor {
 // Name implements core.Middlebox.
 func (m *Monitor) Name() string { return fmt.Sprintf("Monitor(share=%d)", m.sharing) }
 
+// DeltaPrefixes implements core.DeltaPrefixer: every Monitor key is an
+// 8-byte big-endian packet counter, so its piggyback updates can travel as
+// one-byte deltas instead of key+value pairs.
+func (m *Monitor) DeltaPrefixes() []string { return []string{"pkt-count-"} }
+
 // Process counts the packet into the counter its flow's worker group
 // shares. With sharing level s and w workers, workers are partitioned into
 // w/s groups, each sharing one counter — reproducing the contention the

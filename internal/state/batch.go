@@ -188,7 +188,9 @@ func (v *batchView) bufferWrite(key string, val []byte, p uint16) {
 	} else {
 		u = new(Update) // slab exhausted mid-Exec; reset resizes for the next
 	}
-	u.Key, u.Value, u.Partition = key, val, p
+	// Slab entries are reused across Execs: clear the commit-time delta
+	// classification a previous transaction may have left behind.
+	u.Key, u.Value, u.Partition, u.Flags, u.Delta = key, val, p, 0, 0
 	if v.writes == nil {
 		v.writes = make(map[string]*Update, 4)
 	}
@@ -318,6 +320,8 @@ func (v *batchView) commit(onCommit func(Result)) Result {
 		if u.Value == nil {
 			part.tab.del(u.Key)
 		} else {
+			// The old value is still installed here: classify before put.
+			classifyDelta(v.batch.store.delta, &part.tab, u)
 			// u.Value stays exclusively the piggybacked update's; the table
 			// keeps its own copy in a recycled slot buffer.
 			part.tab.put(u.Key, u.Value, now)
@@ -459,6 +463,8 @@ func (t *occTxn) commitBatch(b *occBatch, onCommit func(Result)) (Result, error)
 		if u.Value == nil {
 			p.tab.del(u.Key)
 		} else {
+			// The old value is still installed here: classify before put.
+			classifyDelta(t.store.delta, &p.tab, u)
 			si := p.tab.put(u.Key, u.Value, now)
 			p.tab.slots[si].ver++
 		}

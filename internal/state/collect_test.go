@@ -1,0 +1,74 @@
+package state
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCollectShardsMatchesSerial gates the parallel forced-expiry collector:
+// an unlimited parallel collection must return exactly the serial result
+// (same keys, partition order), and a limited one must return a valid
+// subset of at most limit due keys.
+func TestCollectShardsMatchesSerial(t *testing.T) {
+	const nparts = 64
+	data := make([][]string, nparts)
+	all := map[string]bool{}
+	var want []string
+	for i := range data {
+		for k := 0; k < (i%5)+1; k++ {
+			key := fmt.Sprintf("p%02d-k%d", i, k)
+			data[i] = append(data[i], key)
+			all[key] = true
+			want = append(want, key)
+		}
+	}
+	// Like the real per-partition scan, the callback honours the limit
+	// within its own buffer (collectExpired stops once len(buf) == limit).
+	mkCollect := func(limit int) func(int, []string) []string {
+		return func(i int, buf []string) []string {
+			for _, k := range data[i] {
+				if limit >= 0 && len(buf) >= limit {
+					break
+				}
+				buf = append(buf, k)
+			}
+			return buf
+		}
+	}
+
+	got := collectShards(nparts, -1, nil, mkCollect(-1))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("unlimited collection diverged:\n got  %v\n want %v", got, want)
+	}
+
+	for _, limit := range []int{0, 1, 7, len(want) - 1, len(want), len(want) + 10} {
+		got := collectShards(nparts, limit, nil, mkCollect(limit))
+		if len(got) > limit {
+			t.Fatalf("limit %d: collected %d keys", limit, len(got))
+		}
+		if limit >= len(want) && len(got) != len(want) {
+			t.Fatalf("limit %d: collected %d of %d due keys", limit, len(got), len(want))
+		}
+		seen := map[string]bool{}
+		for _, k := range got {
+			if !all[k] {
+				t.Fatalf("limit %d: invented key %q", limit, k)
+			}
+			if seen[k] {
+				t.Fatalf("limit %d: duplicate key %q", limit, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestCollectShardsAppendsToBuf pins the append contract: existing buf
+// contents survive and count against the limit.
+func TestCollectShardsAppendsToBuf(t *testing.T) {
+	collect := func(i int, buf []string) []string { return append(buf, fmt.Sprintf("k%d", i)) }
+	got := collectShards(4, -1, []string{"pre"}, collect)
+	if got[0] != "pre" || len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+}

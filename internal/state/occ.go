@@ -29,6 +29,7 @@ import (
 type OCCStore struct {
 	parts []occPartition
 	exp   *expiryCfg
+	delta *deltaCfg
 }
 
 // ErrConflict aborts an optimistic transaction whose read set changed
@@ -77,22 +78,26 @@ func (s *OCCStore) ConfigureExpiry(e Expiry) {
 	}
 }
 
-// CollectExpired implements Backend (see the interface doc).
+// ConfigureDelta implements Backend: declare monotonic-counter key classes
+// (see the interface doc). Call once before the store sees traffic.
+func (s *OCCStore) ConfigureDelta(prefixes []string) {
+	s.delta = resolveDelta(prefixes)
+}
+
+// CollectExpired implements Backend (see the interface doc); partition
+// scanning parallelizes like Store.CollectExpired.
 func (s *OCCStore) CollectExpired(now int64, limit int, buf []string) []string {
 	if s.exp == nil {
 		return buf
 	}
 	tick := s.exp.ticksAt(now)
-	for i := range s.parts {
-		if limit >= 0 && len(buf) >= limit {
-			break
-		}
+	return collectShards(len(s.parts), limit, buf, func(i int, shard []string) []string {
 		p := &s.parts[i]
 		p.mu.Lock()
-		buf = p.tab.collectExpired(tick, limit, buf)
+		shard = p.tab.collectExpired(tick, limit, shard)
 		p.mu.Unlock()
-	}
-	return buf
+		return shard
+	})
 }
 
 // Get reads a key outside any transaction.
@@ -133,14 +138,25 @@ func (s *OCCStore) Len() int {
 
 // Apply installs replicated updates directly (follower path). Values are
 // copied into store-owned buffers; the caller keeps ownership of its own.
+// Decoded delta updates resolve against the current table value (see
+// Store.Apply).
 func (s *OCCStore) Apply(updates []Update) {
 	now := s.exp.nowTick()
-	for _, u := range updates {
+	var scratch [8]byte
+	for i := range updates {
+		u := &updates[i]
 		p := &s.parts[int(u.Partition)%len(s.parts)]
 		p.mu.Lock()
-		if u.Value == nil {
+		switch {
+		case u.Flags&UpdateDelta != 0 && u.Value == nil:
+			// Materialize the resolved value into the update so retained
+			// logs can re-serve full values (see Store.Apply).
+			u.Value = append(make([]byte, 0, 8), resolveDeltaValue(&p.tab, u, &scratch)...)
+			si := p.tab.put(u.Key, u.Value, now)
+			p.tab.slots[si].ver++
+		case u.Value == nil:
 			p.tab.del(u.Key)
-		} else {
+		default:
 			si := p.tab.put(u.Key, u.Value, now)
 			p.tab.slots[si].ver++
 		}
@@ -364,6 +380,8 @@ func (t *occTxn) commit(onCommit func(Result)) (Result, error) {
 		if u.Value == nil {
 			p.tab.del(u.Key)
 		} else {
+			// The old value is still installed here: classify before put.
+			classifyDelta(t.store.delta, &p.tab, u)
 			// u.Value stays exclusively the piggybacked update's; the table
 			// keeps its own copy in a recycled slot buffer.
 			si := p.tab.put(u.Key, u.Value, now)

@@ -21,7 +21,9 @@
 package state
 
 import (
+	"encoding/binary"
 	"errors"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -95,6 +97,12 @@ type Backend interface {
 	// ConfigureExpiry arms flow-state aging (see Expiry). Call once, before
 	// the store sees traffic; a zero-TTL config disables expiry.
 	ConfigureExpiry(e Expiry)
+	// ConfigureDelta declares key classes holding monotonic 8-byte
+	// big-endian counters: committed writes to a matching key whose old and
+	// new values are both 8 bytes are tagged UpdateDelta with Delta =
+	// new − old, letting the wire layer ship a short varint. Call once,
+	// before the store sees traffic; nil disables delta classification.
+	ConfigureDelta(prefixes []string)
 	// CollectExpired appends to buf up to limit keys whose TTL elapsed at
 	// now (nanoseconds on the expiry clock; limit < 0 means no limit) and
 	// returns the result. It never deletes: the caller must turn the keys
@@ -181,12 +189,85 @@ func (c *expiryCfg) nowTick() int64 {
 // ticksAt converts an absolute clock reading (nanoseconds) to wheel ticks.
 func (c *expiryCfg) ticksAt(now int64) int64 { return now / c.tick }
 
+// UpdateDelta marks an Update whose new value can be reconstructed as
+// old-value + Delta by a receiver that already holds the previous committed
+// value — the wire layer then ships a short signed varint instead of the
+// full 8-byte counter (see ConfigureDelta).
+const UpdateDelta uint8 = 1 << 0
+
 // Update is one state mutation produced by a committed transaction: the
-// unit that gets piggybacked and replicated. A nil Value means deletion.
+// unit that gets piggybacked and replicated. A nil Value with a zero Flags
+// field means deletion.
+//
+// When Flags has UpdateDelta set, the update is a delta against the
+// receiver's last committed value for Key: Delta holds new − old over the
+// 8-byte big-endian unsigned integer interpretation (two's-complement
+// wraparound). A sender-side delta update still carries the full new value
+// in Value (its own store needs it, and the codec falls back to it when the
+// peer cannot take deltas); a decoded delta update has Value == nil and is
+// resolved against the local store by Apply.
 type Update struct {
 	Key       string
 	Value     []byte
 	Partition uint16
+	// Flags carries update-class bits (UpdateDelta).
+	Flags uint8
+	// Delta is new − old for UpdateDelta updates, in counter units.
+	Delta int64
+}
+
+// deltaCfg holds the resolved delta-classification prefixes (nil = off).
+type deltaCfg struct {
+	prefixes []string
+}
+
+// resolveDelta copies and validates the prefix list, nil when empty.
+func resolveDelta(prefixes []string) *deltaCfg {
+	if len(prefixes) == 0 {
+		return nil
+	}
+	return &deltaCfg{prefixes: append([]string(nil), prefixes...)}
+}
+
+func (c *deltaCfg) matches(key string) bool {
+	if c == nil {
+		return false
+	}
+	for _, p := range c.prefixes {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyDelta tags u with UpdateDelta when its key is a configured
+// counter class and both the old table value and the new value are 8-byte
+// counters. Called at the commit sites with the partition mutex held,
+// immediately before the table install, so the old value read here is
+// exactly the receiver's last committed value under in-order apply.
+func classifyDelta(c *deltaCfg, tab *table, u *Update) {
+	if c == nil || len(u.Value) != 8 || !c.matches(u.Key) {
+		return
+	}
+	old, ok := tab.get(u.Key)
+	if !ok || len(old) != 8 {
+		return // first write (or shape change): ship the full value
+	}
+	u.Flags |= UpdateDelta
+	u.Delta = int64(binary.BigEndian.Uint64(u.Value) - binary.BigEndian.Uint64(old))
+}
+
+// resolveDeltaValue reconstructs the full 8-byte value of a decoded delta
+// update against the old table value (missing or malformed old → base 0),
+// writing into scratch. Partition mutex held by the caller.
+func resolveDeltaValue(tab *table, u *Update, scratch *[8]byte) []byte {
+	base := uint64(0)
+	if old, ok := tab.get(u.Key); ok && len(old) == 8 {
+		base = binary.BigEndian.Uint64(old)
+	}
+	binary.BigEndian.PutUint64(scratch[:], base+uint64(u.Delta))
+	return scratch[:]
 }
 
 // partition holds one shard of the store.
@@ -201,6 +282,7 @@ type partition struct {
 type Store struct {
 	parts []partition
 	exp   *expiryCfg
+	delta *deltaCfg
 	tsCtr atomic.Uint64
 }
 
@@ -247,20 +329,79 @@ func (s *Store) ConfigureExpiry(e Expiry) {
 	}
 }
 
-// CollectExpired implements Backend (see the interface doc).
+// ConfigureDelta implements Backend: declare monotonic-counter key classes
+// (see the interface doc). Call once before the store sees traffic.
+func (s *Store) ConfigureDelta(prefixes []string) {
+	s.delta = resolveDelta(prefixes)
+}
+
+// CollectExpired implements Backend (see the interface doc). Partitions are
+// scanned by a small worker pool when the store is large enough to benefit
+// (see collectShards); results keep partition order either way.
 func (s *Store) CollectExpired(now int64, limit int, buf []string) []string {
 	if s.exp == nil {
 		return buf
 	}
 	tick := s.exp.ticksAt(now)
-	for i := range s.parts {
+	return collectShards(len(s.parts), limit, buf, func(i int, shard []string) []string {
+		p := &s.parts[i]
+		p.mu.Lock()
+		shard = p.tab.collectExpired(tick, limit, shard)
+		p.mu.Unlock()
+		return shard
+	})
+}
+
+// collectShards runs collect(i, buf) over partitions 0..nparts-1, appending
+// the per-partition results to buf in partition order and honouring limit
+// (limit < 0 means no limit). When the partition count and GOMAXPROCS allow,
+// contiguous partition ranges are scanned by parallel workers — forced
+// expiry at millions of keys is otherwise single-threaded on the head
+// (ROADMAP PR 6 follow-up). Each worker respects limit within its own
+// range, so a limited parallel collection may pick a different (equally
+// valid) subset of due keys than the serial scan; the total never exceeds
+// limit and nothing is missed forever, because uncollected keys stay due.
+func collectShards(nparts, limit int, buf []string, collect func(i int, shard []string) []string) []string {
+	const minPartsPerWorker = 8
+	workers := runtime.GOMAXPROCS(0)
+	if max := nparts / minPartsPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for i := 0; i < nparts; i++ {
+			if limit >= 0 && len(buf) >= limit {
+				break
+			}
+			buf = collect(i, buf)
+		}
+		return buf
+	}
+	shards := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*nparts/workers, (w+1)*nparts/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []string
+			for i := lo; i < hi; i++ {
+				if limit >= 0 && len(out) >= limit {
+					break
+				}
+				out = collect(i, out)
+			}
+			shards[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, s := range shards {
+		if limit >= 0 && len(buf)+len(s) > limit {
+			s = s[:limit-len(buf)]
+		}
+		buf = append(buf, s...)
 		if limit >= 0 && len(buf) >= limit {
 			break
 		}
-		p := &s.parts[i]
-		p.mu.Lock()
-		buf = p.tab.collectExpired(tick, limit, buf)
-		p.mu.Unlock()
 	}
 	return buf
 }
@@ -306,15 +447,28 @@ func (s *Store) Len() int {
 // Apply installs replicated updates directly, bypassing the transaction
 // layer. Followers call this once the dependency-vector logic has
 // established that the update is in order. Values are copied into
-// store-owned buffers; the caller keeps ownership of its own.
+// store-owned buffers; the caller keeps ownership of its own. Decoded delta
+// updates (UpdateDelta set, Value nil) are resolved against the current
+// table value — in-order exactly-once apply makes that the same base the
+// sender diffed against.
 func (s *Store) Apply(updates []Update) {
 	now := s.exp.nowTick()
-	for _, u := range updates {
+	var scratch [8]byte
+	for i := range updates {
+		u := &updates[i]
 		p := &s.parts[int(u.Partition)%len(s.parts)]
 		p.mu.Lock()
-		if u.Value == nil {
+		switch {
+		case u.Flags&UpdateDelta != 0 && u.Value == nil:
+			// Materialize the resolved value into the update: callers that
+			// retain the log (follower retransmission buffers) must be able
+			// to re-serve it with a full value, e.g. to a successor whose
+			// recovery snapshot partially overlaps a coalesced run.
+			u.Value = append(make([]byte, 0, 8), resolveDeltaValue(&p.tab, u, &scratch)...)
+			p.tab.put(u.Key, u.Value, now)
+		case u.Value == nil:
 			p.tab.del(u.Key)
-		} else {
+		default:
 			p.tab.put(u.Key, u.Value, now)
 		}
 		p.mu.Unlock()

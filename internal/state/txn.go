@@ -263,6 +263,8 @@ func (t *lockTxn) commit(onCommit func(Result)) (Result, error) {
 		if u.Value == nil {
 			part.tab.del(u.Key)
 		} else {
+			// The old value is still installed here: classify before put.
+			classifyDelta(t.store.delta, &part.tab, u)
 			// u.Value stays exclusively the piggybacked update's: the table
 			// copies it into a slot-owned buffer, so a later in-place
 			// overwrite can never corrupt a retained log.

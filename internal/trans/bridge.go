@@ -159,6 +159,11 @@ type Stats struct {
 	// DatagramsOut and DatagramsIn count the UDP datagrams carrying
 	// them; FramesOut/DatagramsOut is the achieved send coalescing.
 	DatagramsOut, DatagramsIn uint64
+	// FrameBytesOut counts the payload bytes of tunneled frames and
+	// WireBytesOut the bytes of the datagrams that carried them;
+	// FrameBytesOut/WireBytesOut is the tunnel's goodput (the complement
+	// is per-record framing overhead).
+	FrameBytesOut, WireBytesOut uint64
 	// SendSyscalls and RecvSyscalls count data-plane socket syscall
 	// invocations (sendmmsg/sendto and recvmmsg/recvfrom, including
 	// non-blocking probes that returned nothing); DatagramsOut over
@@ -198,11 +203,12 @@ type Bridge struct {
 	peers      map[netsim.NodeID]*peerState
 	sockCursor int
 
-	framesOut, framesIn        atomic.Uint64
-	datagramsOut, datagramsIn  atomic.Uint64
-	sendSyscalls, recvSyscalls atomic.Uint64
-	oversizeDrops              atomic.Uint64
-	truncatedDatagrams         atomic.Uint64
+	framesOut, framesIn         atomic.Uint64
+	datagramsOut, datagramsIn   atomic.Uint64
+	frameBytesOut, wireBytesOut atomic.Uint64
+	sendSyscalls, recvSyscalls  atomic.Uint64
+	oversizeDrops               atomic.Uint64
+	truncatedDatagrams          atomic.Uint64
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -284,6 +290,8 @@ func (b *Bridge) Stats() Stats {
 		FramesIn:           b.framesIn.Load(),
 		DatagramsOut:       b.datagramsOut.Load(),
 		DatagramsIn:        b.datagramsIn.Load(),
+		FrameBytesOut:      b.frameBytesOut.Load(),
+		WireBytesOut:       b.wireBytesOut.Load(),
 		SendSyscalls:       b.sendSyscalls.Load(),
 		RecvSyscalls:       b.recvSyscalls.Load(),
 		OversizeDrops:      b.oversizeDrops.Load(),
@@ -423,6 +431,11 @@ func (t *txBatch) emit() {
 		return
 	}
 	t.b.datagramsOut.Add(uint64(len(t.dgrams)))
+	wire := uint64(0)
+	for _, d := range t.dgrams {
+		wire += uint64(len(d))
+	}
+	t.b.wireBytesOut.Add(wire)
 	t.send()
 	t.dgrams = t.dgrams[:0]
 	t.cur = t.bufs[0][:0]
@@ -478,6 +491,7 @@ func (b *Bridge) drainProxy(proxy *netsim.Node) {
 				b.oversizeDrops.Add(1)
 			} else {
 				b.framesOut.Add(1)
+				b.frameBytesOut.Add(uint64(len(frame)))
 			}
 			netsim.ReleaseFrame(frame)
 		}

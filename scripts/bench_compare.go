@@ -8,6 +8,9 @@
 //   - pps (and ns/op for benchmarks without a throughput metric) is
 //     advisory with a ±10% warn band: CI runners are noisy, so timing
 //     drift prints a warning but never fails the build.
+//   - goodput (app bytes over wire bytes, reported by the FTC and bridge
+//     benchmarks) gets the same ±10% advisory band: a shrinking ratio
+//     means piggyback or framing overhead crept back in.
 //
 // Benchmark names are matched with any -N GOMAXPROCS suffix stripped.
 // Baseline entries absent from the input, and measured benchmarks with no
@@ -28,10 +31,11 @@ import (
 )
 
 type entry struct {
-	Name   string   `json:"name"`
-	PPS    *float64 `json:"pps,omitempty"`
-	NsOp   *float64 `json:"ns_per_op,omitempty"`
-	Allocs *float64 `json:"allocs_per_op,omitempty"`
+	Name    string   `json:"name"`
+	PPS     *float64 `json:"pps,omitempty"`
+	NsOp    *float64 `json:"ns_per_op,omitempty"`
+	Allocs  *float64 `json:"allocs_per_op,omitempty"`
+	Goodput *float64 `json:"goodput,omitempty"`
 }
 
 type baseline struct {
@@ -93,6 +97,9 @@ func main() {
 		case b.NsOp != nil && m.NsOp != nil:
 			drift(m.Name, "ns/op", *m.NsOp, *b.NsOp, false)
 		}
+		if b.Goodput != nil && m.Goodput != nil {
+			drift(m.Name, "goodput", *m.Goodput, *b.Goodput, true)
+		}
 	}
 	for name := range want {
 		if !seen[name] {
@@ -151,6 +158,9 @@ func parseBench(f *os.File) []entry {
 			case "allocs/op":
 				a := v
 				e.Allocs = &a
+			case "goodput":
+				g := v
+				e.Goodput = &g
 			}
 		}
 		out = append(out, e)
