@@ -5,7 +5,7 @@ GO ?= go
 BURST ?= 32
 DATE  := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test vet doclint crossbuild race stress chaos fuzz-short bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
+.PHONY: all build test vet doclint crossbuild race stress chaos control-chaos fuzz-short bench-smoke bench-guard bench-fig5 bench-bridge bench-json ci
 
 all: build vet test
 
@@ -95,6 +95,15 @@ chaos:
 		-chaos.count=$(CHAOS_COUNT) -chaos.soak=$(SOAK_SECONDS) \
 		-timeout $(CHAOS_TIMEOUT)s
 
+# Control-plane chaos gate: the orchestrator-crash campaign matrix under
+# -race — six curated seeds covering a leader kill at every replicated
+# recovery phase (spawned/fetched/adopted), with and without also killing
+# the successor mid-takeover (DESIGN.md §14). Each failure prints the same
+# copy-pasteable -chaos.seed repro as the main sweep. Fast enough (<2 min)
+# to gate every PR.
+control-chaos:
+	$(GO) test -race ./internal/chaos/ -run TestControlChaosCampaign -v -timeout 120s -count=1
+
 # Full throughput benchmark (Figure 5 reproduction) with allocation stats.
 bench-fig5:
 	$(GO) test . -run=NONE -bench=Fig5 -benchtime=2s -benchmem
@@ -128,6 +137,6 @@ bench-json:
 # The full pre-merge gate: build, vet, doc lint, the non-Linux
 # cross-compile gate, the piggyback codec fuzz gate, the benchmark
 # regression guard (allocation smoke benchmarks diffed against baseline),
-# the race-sensitive packages under -race, the scheduler stress gate, and
-# the whole test suite.
-ci: build vet doclint crossbuild fuzz-short bench-guard race stress test
+# the race-sensitive packages under -race, the scheduler stress gate, the
+# orchestrator-crash campaign matrix, and the whole test suite.
+ci: build vet doclint crossbuild fuzz-short bench-guard race stress control-chaos test

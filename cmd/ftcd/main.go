@@ -105,6 +105,8 @@ func main() {
 		sockets   = flag.Int("sockets", 0, "SO_REUSEPORT data-plane sockets sharing the UDP port (0 = GOMAXPROCS; non-Linux always 1)")
 		sockBuf   = flag.Int("sockbuf", 0, "requested SO_RCVBUF/SO_SNDBUF per data-plane socket in bytes (0 = OS default)")
 		noMMsg    = flag.Bool("no-mmsg", false, "disable sendmmsg/recvmmsg batching, one syscall per datagram (wire format unchanged)")
+		orchEns   = flag.String("orch-ensemble", "", "comma-separated orchestrator ensemble member addresses this replica accepts control commands from (logged for operators; discovery is the ensemble's job)")
+		minTerm   = flag.Uint64("min-controller-term", 0, "preset the controller fence floor: control commands below this term are rejected, so a leader deposed while this replica was down cannot adopt it (DESIGN.md \u00a714)")
 	)
 	peers := peerFlags{}
 	flag.Var(peers, "peer", "remote ring node: index=udpaddr[/tcpaddr] (repeatable)")
@@ -167,6 +169,12 @@ func main() {
 		Egress:  egressID,
 		MB:      mb,
 	})
+	if *minTerm > 0 {
+		// Raise the fence before the control plane is reachable: a boot-time
+		// floor closes the window where a deposed leader could adopt a
+		// freshly restarted replica with stale recovery commands.
+		replica.FenceTerm(*minTerm)
+	}
 	replica.Start()
 	defer replica.Stop()
 
@@ -183,6 +191,11 @@ func main() {
 		mbDesc = mb.Name()
 	}
 	log.Printf("ftcd: ring %d/%d hosting %s", *index, ring.M(), mbDesc)
+	if *orchEns != "" {
+		members := strings.Split(*orchEns, ",")
+		log.Printf("ftcd: orchestrator ensemble: %d members (%s), fence floor term %d",
+			len(members), *orchEns, replica.ControllerTerm())
+	}
 	burstDesc := fmt.Sprintf("%d", cfg.Burst)
 	if cfg.Burst == 0 {
 		burstDesc = fmt.Sprintf("adaptive(max %d)", cfg.MaxBurst)
@@ -198,9 +211,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	s := replica.Stats()
-	log.Printf("ftcd: rx=%d tx=%d egress=%d filtered=%d repairs=%d",
+	log.Printf("ftcd: rx=%d tx=%d egress=%d filtered=%d repairs=%d fenced_cmds=%d",
 		s.RxFrames.Load(), s.TxFrames.Load(), s.Egress.Load(),
-		s.Filtered.Load(), s.Repairs.Load())
+		s.Filtered.Load(), s.Repairs.Load(), s.FencedCmds.Load())
 	// Goodput accounting on this replica's inter-replica hop: application
 	// payload vs piggyback overhead vs total bytes sent (see core.Stats).
 	app, pb, wireB := s.AppBytesOut.Load(), s.PiggybackBytesOut.Load(), s.WireBytesOut.Load()

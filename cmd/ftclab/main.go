@@ -9,7 +9,10 @@
 //	ftclab -fleet scenario.yaml [-trace]
 //
 // Experiments: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 ablate. With no arguments, all experiments run in order.
+// fig13 failover ablate. With no arguments, all experiments run in order.
+// failover crashes a replica, kills the orchestrator-ensemble leader at
+// each replicated recovery phase, and reports how the successor resumed
+// the in-flight recovery (DESIGN.md §14).
 //
 // -chaos-seed replays one deterministic fault-injection campaign (the same
 // schedule `go test ./internal/chaos -chaos.seed=N` runs) with the event
@@ -62,7 +65,7 @@ func main() {
 	wanted := flag.Args()
 	if len(wanted) == 0 {
 		wanted = []string{"table1", "table2", "fig5", "fig6", "fig7", "fig8",
-			"fig9", "fig10", "fig11", "fig12", "fig13", "ablate"}
+			"fig9", "fig10", "fig11", "fig12", "fig13", "failover", "ablate"}
 	}
 	exitCode := 0
 	for _, name := range wanted {
@@ -166,6 +169,8 @@ func run(name string, p exp.Params) error {
 		return show(exp.Fig12(p))
 	case "fig13":
 		return show(exp.Fig13(p))
+	case "failover":
+		return show(exp.FigFailover(p))
 	case "ablate":
 		iters := int(p.WithDefaults().RunTime / (200 * time.Nanosecond))
 		if iters < 2000 {

@@ -56,6 +56,15 @@ type Result struct {
 	// Detected is how many failures the heartbeat detector declared on its
 	// own (the runner usually beats it to the recovery).
 	Detected uint64
+	// LeaderKills counts orchestrator leaders fail-stopped by the OrchKill
+	// rider (1, or 2 with KillSuccessor).
+	LeaderKills int
+	// Takeovers counts completed leader installations, including the
+	// initial one — ≥ 2 whenever a leader kill actually forced a failover.
+	Takeovers uint64
+	// Resumed counts recoveries finished by a different leader than the
+	// one that started them.
+	Resumed int
 	// Recovery and Fetch summarize the orchestrator's per-recovery timing
 	// histograms.
 	Recovery, Fetch metrics.Summary
@@ -72,9 +81,10 @@ func (r *Result) Failed() bool { return len(r.Violations) > 0 }
 // OneLine renders the result as a single log line.
 func (r *Result) OneLine() string {
 	return fmt.Sprintf(
-		"seed=%-6d f=%d engine=%s nosteal=%-5v ttl=%-5v sent=%d delivered=%d crashes=%d recoveries=%d retries=%d detected=%d rec_p99=%v violations=%d elapsed=%v",
+		"seed=%-6d f=%d engine=%s nosteal=%-5v ttl=%-5v sent=%d delivered=%d crashes=%d recoveries=%d retries=%d detected=%d leaderkills=%d takeovers=%d resumed=%d rec_p99=%v violations=%d elapsed=%v",
 		r.Campaign.Seed, r.Campaign.F, r.Campaign.Engine, r.Campaign.NoSteal, r.Campaign.FlowTTL,
 		r.Sent, r.Delivered, r.Crashes, r.Recoveries, r.Retries, r.Detected,
+		r.LeaderKills, r.Takeovers, r.Resumed,
 		r.Recovery.P99.Round(time.Microsecond), len(r.Violations),
 		r.Elapsed.Round(time.Millisecond))
 }
@@ -158,14 +168,38 @@ func Run(c Campaign, opt Options) *Result {
 	// Conservative detection: the runner drives recoveries itself right
 	// after each injected crash, so the heartbeat detector is redundancy —
 	// tuned to need ~800ms of silence before declaring a failure, it never
-	// false-positives under -race scheduling stalls.
-	o := orch.New(orch.Config{
+	// false-positives under -race scheduling stalls. The orchestrator is a
+	// replicated ensemble: elections are similarly conservative (a follower
+	// stands after ~250ms of leader silence, staggered by rank) so a
+	// takeover only ever happens because the OrchKill rider killed the
+	// leader, not because -race starved the lease loop.
+	o := orch.NewEnsemble(orch.Config{
 		HeartbeatEvery:   15 * time.Millisecond,
 		HeartbeatTimeout: 200 * time.Millisecond,
 		Misses:           4,
 		RecoveryTimeout:  c.RecoveryBound,
+		Members:          c.orchMembers(),
+		LeaseEvery:       15 * time.Millisecond,
+		ElectionAfter:    250 * time.Millisecond,
 	}, fab, "chaos-orch", chain)
 	var crashes, retries atomic.Int64
+
+	// Orchestrator-kill riders: one-shot, armed for the whole campaign.
+	// The leader dies mid-command at the scheduled phase; with
+	// KillSuccessor the next leader dies during its takeover (after the
+	// election record replicated and the chain was fenced, before it
+	// resumes the orphaned recovery), so a third leader finishes the job.
+	var leaderKilled, successorKilled atomic.Bool
+	var leaderKills atomic.Int64
+	if k := c.OrchKill; k != nil && k.KillSuccessor {
+		o.OnLeader = func(term uint64, member int) {
+			if term >= 2 && leaderKilled.Load() && successorKilled.CompareAndSwap(false, true) {
+				trace("rider: killing successor leader m%d during takeover at term %d", member, term)
+				o.CrashMember(member)
+				leaderKills.Add(1)
+			}
+		}
+	}
 
 	// Mid-recovery rider: armed per episode, fired by the orchestrator's
 	// phase hook on whichever recovery first reaches the armed phase.
@@ -173,6 +207,12 @@ func Run(c Campaign, opt Options) *Result {
 	var pendingMid *MidRecovery
 	midFired := false
 	o.OnPhase = func(ev orch.PhaseEvent) {
+		if k := c.OrchKill; k != nil && ev.Phase == k.Phase && leaderKilled.CompareAndSwap(false, true) {
+			trace("rider: killing orchestrator leader at phase %v of recovery of ring %d", ev.Phase, ev.RingIndex)
+			if o.CrashLeader() >= 0 {
+				leaderKills.Add(1)
+			}
+		}
 		midMu.Lock()
 		m := pendingMid
 		if m == nil || ev.Phase != m.Phase {
@@ -382,12 +422,28 @@ func Run(c Campaign, opt Options) *Result {
 		violate(InvDivergentStores, "%v", err)
 	}
 	for _, rep := range o.Reports() {
-		if rep.Err == nil && rep.Total > c.RecoveryBound {
+		// Resumed recoveries span the failover gap (election timeout
+		// included), so the single-leader latency bound does not apply.
+		if rep.Err == nil && !rep.Resumed && rep.Total > c.RecoveryBound {
 			violate(InvRecoverySlow, "ring %d recovered in %v > bound %v", rep.RingIndex, rep.Total, c.RecoveryBound)
 		}
 		if rep.Err == nil {
 			res.Recoveries++
+			if rep.Resumed {
+				res.Resumed++
+			}
 		}
+	}
+
+	// Control-plane audit: replay the ensemble's committed command log and
+	// check that no recovery was orphaned by a leader kill and no ring
+	// position was recovered twice for the same epoch by rival leaders.
+	for _, v := range CheckControlLog(o.View()) {
+		trace("VIOLATION %s", v)
+		res.Violations = append(res.Violations, v)
+	}
+	if c.OrchKill != nil && leaderKilled.Load() && o.Takeovers() < 2 {
+		violate(InvOrphanedRecovery, "leader killed but no successor ever took over (takeovers=%d)", o.Takeovers())
 	}
 
 	// Forced-expiry epoch: with the normal audits done (they need the flow
@@ -417,6 +473,8 @@ func Run(c Campaign, opt Options) *Result {
 	res.Crashes = int(crashes.Load())
 	res.Retries = int(retries.Load())
 	res.Detected = o.Detected()
+	res.LeaderKills = int(leaderKills.Load())
+	res.Takeovers = o.Takeovers()
 	res.Recovery = o.RecoveryHist().Summarize()
 	res.Fetch = o.FetchHist().Summarize()
 	res.Elapsed = time.Since(start)

@@ -10,6 +10,7 @@ import (
 
 	"github.com/ftsfc/ftc/internal/chaos"
 	"github.com/ftsfc/ftc/internal/core"
+	"github.com/ftsfc/ftc/internal/orch"
 	"github.com/ftsfc/ftc/internal/state"
 	"github.com/ftsfc/ftc/internal/wire"
 )
@@ -74,6 +75,81 @@ func TestChaosCampaign(t *testing.T) {
 		t.Fatalf("%d campaigns delivered zero packets — harness is not exercising the chain", ran)
 	}
 	t.Logf("chaos: %d campaigns, %d packets delivered end-to-end", ran, delivered)
+}
+
+// TestControlChaosCampaign is the control-plane attack lane: a fixed seed
+// set covering every orchestrator-kill combination — leader killed at
+// each recovery phase, alone and together with its successor killed
+// during takeover. It runs on every PR (CI's control-chaos job), so it is
+// sized to finish well under two minutes even with -race; failures
+// reproduce with the same -chaos.seed line as the main campaign.
+func TestControlChaosCampaign(t *testing.T) {
+	if *chaosSeed != 0 {
+		t.Skip("single-seed replay runs via TestChaosCampaign")
+	}
+	// k = (seed>>4)&7 selects the kill: one seed per k in 1..6, with the
+	// low bits varying the matrix cell too.
+	seeds := []int64{17, 34, 51, 68, 85, 102}
+	combos := map[string]bool{}
+	for _, seed := range seeds {
+		c := chaos.Derive(seed)
+		if c.OrchKill == nil {
+			t.Fatalf("seed %d no longer derives an orchestrator kill", seed)
+		}
+		combos[fmt.Sprintf("%v/successor=%v", c.OrchKill.Phase, c.OrchKill.KillSuccessor)] = true
+		res := runSeed(t, seed, false)
+		wantKills, wantTakeovers := 1, 2
+		if c.OrchKill.KillSuccessor {
+			wantKills, wantTakeovers = 2, 3
+		}
+		if res.LeaderKills < wantKills {
+			t.Errorf("seed %d: leader-kill rider fired %d times, want %d\nrepro: %s",
+				seed, res.LeaderKills, wantKills, repro(seed))
+		}
+		if int(res.Takeovers) < wantTakeovers {
+			t.Errorf("seed %d: %d takeovers, want ≥ %d (failover never completed)\nrepro: %s",
+				seed, res.Takeovers, wantTakeovers, repro(seed))
+		}
+	}
+	if len(combos) != 6 {
+		t.Fatalf("seed set covers %d of 6 leader-kill combinations: %v", len(combos), combos)
+	}
+}
+
+// TestCheckerCatchesOrphanedRecovery is the control-log negative control:
+// a fabricated log with a started-but-never-finished recovery must trip
+// the orphan audit, and closing it must clear the finding.
+func TestCheckerCatchesOrphanedRecovery(t *testing.T) {
+	entries := []orch.Entry{
+		{Index: 0, Cmd: orch.Command{Kind: orch.CmdElect, Term: 1, Member: 0}},
+		{Index: 1, Cmd: orch.Command{Kind: orch.CmdRecoveryStart, Term: 1, Ring: 1, Epoch: 1}},
+		{Index: 2, Cmd: orch.Command{Kind: orch.CmdRecoveryPhase, Term: 1, Ring: 1, Epoch: 1, Phase: orch.PhaseSpawned, Replacement: "repl"}},
+	}
+	vs := chaos.CheckControlLog(orch.Replay(entries))
+	if len(vs) != 1 || vs[0].Invariant != chaos.InvOrphanedRecovery {
+		t.Fatalf("orphaned recovery not caught: %v", vs)
+	}
+	closed := append(entries, orch.Entry{Index: 3,
+		Cmd: orch.Command{Kind: orch.CmdRecoveryDone, Term: 2, Ring: 1, Epoch: 1}})
+	if vs := chaos.CheckControlLog(orch.Replay(closed)); len(vs) != 0 {
+		t.Fatalf("clean log flagged: %v", vs)
+	}
+}
+
+// TestCheckerCatchesDoubleRecovery is the fencing negative control at the
+// audit level: two successful completions of the same recovery epoch (a
+// deposed leader racing its successor past the fence) must trip the
+// double-recovery audit.
+func TestCheckerCatchesDoubleRecovery(t *testing.T) {
+	entries := []orch.Entry{
+		{Index: 0, Cmd: orch.Command{Kind: orch.CmdRecoveryStart, Term: 1, Ring: 2, Epoch: 4}},
+		{Index: 1, Cmd: orch.Command{Kind: orch.CmdRecoveryDone, Term: 1, Ring: 2, Epoch: 4}},
+		{Index: 2, Cmd: orch.Command{Kind: orch.CmdRecoveryDone, Term: 2, Ring: 2, Epoch: 4}},
+	}
+	vs := chaos.CheckControlLog(orch.Replay(entries))
+	if len(vs) != 1 || vs[0].Invariant != chaos.InvDoubleRecovery {
+		t.Fatalf("double recovery not caught: %v", vs)
+	}
 }
 
 // TestScheduleDeterministicAndValid is the schedule property test: Derive

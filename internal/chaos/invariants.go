@@ -7,6 +7,7 @@ import (
 
 	"github.com/ftsfc/ftc/internal/core"
 	"github.com/ftsfc/ftc/internal/mbox"
+	"github.com/ftsfc/ftc/internal/orch"
 	"github.com/ftsfc/ftc/internal/state"
 	"github.com/ftsfc/ftc/internal/wire"
 )
@@ -42,6 +43,14 @@ const (
 	// replacements) still holds a flow-prefixed key — expiry deletions did
 	// not replicate everywhere, or recovery resurrected aged-out state.
 	InvFlowResurrected = "flow-resurrected"
+	// InvOrphanedRecovery: the ensemble's command log still shows a
+	// recovery started but never finished after quiescence — a leader
+	// kill orphaned it and no successor resumed it.
+	InvOrphanedRecovery = "orphaned-recovery"
+	// InvDoubleRecovery: the command log shows the same ring position's
+	// recovery epoch completed successfully more than once — a deposed
+	// leader's commands got through the fence and raced its successor's.
+	InvDoubleRecovery = "double-recovery"
 )
 
 // Violation is one invariant breach found by the post-campaign audit.
@@ -162,6 +171,47 @@ func checkCommitted(ch *core.Chain, fcs []*mbox.FlowCounter, records []EgressRec
 			if got := fc.Count(v); !ok || got < want {
 				vs = capped(vs, Violation{InvLostCommittedState,
 					fmt.Sprintf("mb %d flow %s: %d packets egressed but surviving counter = %d", j, t, want, got)})
+			}
+		}
+	}
+	return vs
+}
+
+// CheckControlLog audits the ensemble's committed command log after
+// quiescence: every started recovery must have finished (no leader kill
+// may orphan one), and no ring position's recovery epoch may have
+// completed successfully twice (rival leaders racing through the fence).
+func CheckControlLog(v orch.LogView) []Violation {
+	var vs []Violation
+	rings := make([]int, 0, len(v.InFlight))
+	for ring := range v.InFlight {
+		rings = append(rings, ring)
+	}
+	sort.Ints(rings)
+	for _, ring := range rings {
+		inf := v.InFlight[ring]
+		phase := "before any phase"
+		if inf.HasPhase {
+			phase = fmt.Sprintf("at phase %v (replacement %s)", inf.Phase, inf.Replacement)
+		}
+		vs = capped(vs, Violation{InvOrphanedRecovery,
+			fmt.Sprintf("ring %d epoch %d started but never finished, %s", ring, inf.Epoch, phase)})
+	}
+	rings = rings[:0]
+	for ring := range v.Succeeded {
+		rings = append(rings, ring)
+	}
+	sort.Ints(rings)
+	for _, ring := range rings {
+		epochs := make([]uint64, 0, len(v.Succeeded[ring]))
+		for ep := range v.Succeeded[ring] {
+			epochs = append(epochs, ep)
+		}
+		sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+		for _, ep := range epochs {
+			if n := v.Succeeded[ring][ep]; n > 1 {
+				vs = capped(vs, Violation{InvDoubleRecovery,
+					fmt.Sprintf("ring %d epoch %d completed successfully %d times", ring, ep, n)})
 			}
 		}
 	}

@@ -58,6 +58,22 @@ type MidRecovery struct {
 	Target int
 }
 
+// OrchKill is the orchestrator-leader kill rider: when the first recovery
+// of the campaign reaches Phase, the current ensemble leader is
+// fail-stopped mid-command, forcing a follower to take over and resume
+// the half-done recovery from the replicated log. With KillSuccessor the
+// new leader is killed too, during its takeover (after it fenced the
+// chain, before it resumes anything), so a third leader finishes the job.
+type OrchKill struct {
+	// Phase is the recovery sub-step at which the leader dies
+	// (PhaseSpawned, PhaseFetched, or PhaseAdopted — unlike MidRecovery,
+	// killing the controller after adoption is interesting: only the
+	// log close is lost).
+	Phase orch.Phase
+	// KillSuccessor also kills the next leader during takeover.
+	KillSuccessor bool
+}
+
 // Episode is one correlated-failure event: after a delay, crash 1..f ring
 // positions simultaneously, then drive recovery for each (with an optional
 // MidRecovery rider). The campaign runner barriers on every position being
@@ -128,6 +144,12 @@ type Campaign struct {
 	Pace time.Duration
 	// Episodes is the crash schedule, executed in order.
 	Episodes []Episode
+	// OrchKill, if non-nil, kills the orchestrator leader (and optionally
+	// its successor) mid-recovery — the control-plane failure injection.
+	OrchKill *OrchKill
+	// OrchMembers is the orchestrator ensemble size: 5 when the successor
+	// is killed too (two crashes must leave a quorum), else 3.
+	OrchMembers int
 	// LinkFaults is the link-fault timeline (windows disjoint per hop).
 	LinkFaults []LinkFaultSpec
 	// RecoveryBound fails any successful recovery slower than this and
@@ -153,7 +175,10 @@ func (c Campaign) RingLen() int {
 // f=1..2 × {2pl,occ} × {steal,nosteal} matrix; bit 3 toggles FlowTTL (read
 // straight off the seed, consuming no rng draws, so adding it did not
 // reshuffle existing schedules); everything else comes from a rand stream
-// seeded with the seed.
+// seeded with the seed. Bits 4–6 select the orchestrator-leader kill
+// (also read straight off the seed): 1–3 kill the leader at
+// spawned/fetched/adopted, 4–6 the same phase plus the successor during
+// takeover, 0 and 7 leave the control plane unattacked.
 func Derive(seed int64) Campaign {
 	cell := int(((seed % 8) + 8) % 8)
 	c := Campaign{
@@ -163,8 +188,16 @@ func Derive(seed int64) Campaign {
 		NoSteal:        cell&4 != 0,
 		FlowTTL:        (seed>>3)&1 != 0,
 		Workers:        2,
+		OrchMembers:    3,
 		RecoveryBound:  5 * time.Second,
 		QuiesceTimeout: 30 * time.Second,
+	}
+	switch k := (seed >> 4) & 7; k {
+	case 1, 2, 3:
+		c.OrchKill = &OrchKill{Phase: orch.Phase(k - 1)}
+	case 4, 5, 6:
+		c.OrchKill = &OrchKill{Phase: orch.Phase(k - 4), KillSuccessor: true}
+		c.OrchMembers = 5
 	}
 	if cell&2 != 0 {
 		c.Engine = EngineOCC
@@ -308,6 +341,23 @@ func (c Campaign) Validate() error {
 				ei, concurrent, c.F)
 		}
 	}
+	if c.OrchMembers != 0 && (c.OrchMembers < 1 || c.OrchMembers%2 == 0) {
+		return fmt.Errorf("chaos: orchestrator ensemble of %d members (want odd: clean majorities)", c.OrchMembers)
+	}
+	if k := c.OrchKill; k != nil {
+		if k.Phase != orch.PhaseSpawned && k.Phase != orch.PhaseFetched && k.Phase != orch.PhaseAdopted {
+			return fmt.Errorf("chaos: orchestrator kill at unknown phase %v", k.Phase)
+		}
+		// Killing n leaders must leave a majority of the ensemble alive,
+		// or no successor can win an election and the campaign hangs.
+		need := 3
+		if k.KillSuccessor {
+			need = 5
+		}
+		if c.OrchMembers < need {
+			return fmt.Errorf("chaos: orchestrator kill needs ≥ %d ensemble members, have %d", need, c.OrchMembers)
+		}
+	}
 	byHop := make(map[int][]LinkFaultSpec)
 	for i, lf := range c.LinkFaults {
 		if lf.Hop < -1 || lf.Hop >= m {
@@ -327,4 +377,13 @@ func (c Campaign) Validate() error {
 		}
 	}
 	return nil
+}
+
+// orchMembers is the effective ensemble size; hand-built campaigns may
+// leave OrchMembers zero, which runs a single unreplicated leader.
+func (c Campaign) orchMembers() int {
+	if c.OrchMembers < 1 {
+		return 1
+	}
+	return c.OrchMembers
 }

@@ -2,13 +2,21 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/ftsfc/ftc/internal/metrics"
 	"github.com/ftsfc/ftc/internal/netsim"
 	"github.com/ftsfc/ftc/internal/wire"
 )
+
+// ErrFenced rejects a recovery command carrying a stale controller term: a
+// deposed orchestrator leader kept driving a recovery after a successor
+// fenced the chain with a higher term (DESIGN.md §14). The command must not
+// touch the ring; the caller should stop acting as leader.
+var ErrFenced = errors.New("core: recovery command fenced by a newer controller term")
 
 // Chain deploys and manages the FTC replicas of one service function chain
 // on a fabric: one replica per middlebox plus extension replicas when the
@@ -26,6 +34,18 @@ type Chain struct {
 	mu       sync.RWMutex // guards replicas and ringIDs against Adopt
 	replicas []*Replica
 	ringIDs  []netsim.NodeID
+
+	// Controller fencing (DESIGN.md §14): the highest orchestrator term that
+	// has claimed this chain. Fenced recovery commands carrying a lower term
+	// are rejected and counted, so a deposed leader cannot mutate the ring.
+	ctrlTerm atomic.Uint64
+	fencedCt metrics.Counter
+
+	// Spawned-but-not-adopted replacements, keyed by fabric node ID. A new
+	// orchestrator leader resuming a predecessor's in-flight recovery looks
+	// the half-built replacement up here instead of spawning a second one.
+	spawnMu sync.Mutex
+	spawned map[netsim.NodeID]*Replica
 
 	// OnSpawn, if set, is invoked with every fabric node the chain creates
 	// after construction (i.e. recovery replacements), before the replica
@@ -52,12 +72,13 @@ func NewChain(cfg Config, fabric *netsim.Fabric, name string, mbs []Middlebox, e
 	}
 	ring := cfg.Ring()
 	c := &Chain{
-		cfg:    cfg,
-		fabric: fabric,
-		ring:   ring,
-		name:   name,
-		egress: egress,
-		mbs:    mbs,
+		cfg:     cfg,
+		fabric:  fabric,
+		ring:    ring,
+		name:    name,
+		egress:  egress,
+		mbs:     mbs,
+		spawned: make(map[netsim.NodeID]*Replica),
 	}
 	c.ringIDs = make([]netsim.NodeID, ring.M())
 	for i := range c.ringIDs {
@@ -214,6 +235,16 @@ func (c *Chain) Replace(ctx context.Context, i int) (*Replica, error) {
 // for ring position i on a fresh fabric node — recovery step 1 (§5.2,
 // "spawning a new replica and a new middlebox").
 func (c *Chain) Spawn(i int) *Replica {
+	nr, _ := c.SpawnFenced(i, c.ctrlTerm.Load())
+	return nr
+}
+
+// SpawnFenced is Spawn under a controller fencing term: a stale term is
+// rejected with ErrFenced before any fabric node is created.
+func (c *Chain) SpawnFenced(i int, term uint64) (*Replica, error) {
+	if err := c.checkFence(term); err != nil {
+		return nil, err
+	}
 	spawn := c.spawnCt.Add(1)
 	var mb Middlebox
 	if i < len(c.mbs) {
@@ -225,7 +256,27 @@ func (c *Chain) Spawn(i int) *Replica {
 		// its link profiles before any recovery traffic flows.
 		defer c.OnSpawn(i, id)
 	}
-	return c.buildReplica(i, id, mb)
+	nr := c.buildReplica(i, id, mb)
+	c.spawnMu.Lock()
+	c.spawned[id] = nr
+	c.spawnMu.Unlock()
+	return nr, nil
+}
+
+// FindSpawned returns the spawned-but-not-adopted replacement with the
+// given fabric node ID, or nil. An orchestrator leader taking over a
+// predecessor's in-flight recovery uses it to resume — not restart — the
+// recovery at the replicated phase it reached.
+func (c *Chain) FindSpawned(id netsim.NodeID) *Replica {
+	c.spawnMu.Lock()
+	defer c.spawnMu.Unlock()
+	return c.spawned[id]
+}
+
+func (c *Chain) dropSpawned(id netsim.NodeID) {
+	c.spawnMu.Lock()
+	delete(c.spawned, id)
+	c.spawnMu.Unlock()
 }
 
 // RecoverState runs recovery step 2 on a spawned replica: fetch each
@@ -236,27 +287,88 @@ func (c *Chain) RecoverState(ctx context.Context, nr *Replica) error {
 	return err
 }
 
+// RecoverStateFenced is RecoverState under a controller fencing term.
+func (c *Chain) RecoverStateFenced(ctx context.Context, nr *Replica, term uint64) error {
+	if err := c.checkFence(term); err != nil {
+		return err
+	}
+	return c.RecoverState(ctx, nr)
+}
+
 // Adopt runs recovery step 3: start the replacement, reroute the chain
 // through it, and bump the chain generation to fence stale in-flight
 // packets.
 func (c *Chain) Adopt(nr *Replica) {
+	_ = c.AdoptFenced(nr, c.ctrlTerm.Load())
+}
+
+// AdoptFenced is Adopt under a controller fencing term. The term is
+// re-checked under the chain lock, atomically with the route swap, so a
+// deposed leader that passed an earlier check cannot interleave its adopt
+// with a successor's fence: either the adopt lands before the fence rises,
+// or it is rejected whole with ErrFenced.
+func (c *Chain) AdoptFenced(nr *Replica, term uint64) error {
 	i := nr.Index()
-	nr.Start()
 	c.mu.Lock()
+	if term < c.ctrlTerm.Load() {
+		c.mu.Unlock()
+		c.fencedCt.Inc()
+		return ErrFenced
+	}
+	nr.Start()
 	c.ringIDs[i] = nr.sim.ID()
 	newGen := c.replicas[i].Gen() + 1
 	c.replicas[i] = nr
 	replicas := append([]*Replica(nil), c.replicas...)
 	c.mu.Unlock()
+	c.dropSpawned(nr.sim.ID())
 	for _, r := range replicas {
 		r.SetRoute(i, nr.sim.ID())
 		r.SetGen(newGen)
 	}
+	return nil
 }
 
 // Abort discards a spawned replica whose recovery failed.
 func (c *Chain) Abort(nr *Replica) {
+	c.dropSpawned(nr.sim.ID())
 	c.fabric.RemoveNode(nr.sim.ID())
+}
+
+// FenceController raises the chain's controller fencing term. It reports
+// whether term is now the (possibly pre-existing) highest: a false return
+// means a newer leader already fenced the chain and the caller is deposed.
+// Raising the fence is what makes a takeover exclusive — every subsequent
+// fenced command from older terms fails with ErrFenced. Taken under the
+// chain lock so a fence cannot interleave with an in-flight AdoptFenced.
+func (c *Chain) FenceController(term uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		cur := c.ctrlTerm.Load()
+		if term < cur {
+			return false
+		}
+		if term == cur || c.ctrlTerm.CompareAndSwap(cur, term) {
+			return true
+		}
+	}
+}
+
+// ControllerTerm returns the highest controller term that fenced the chain.
+func (c *Chain) ControllerTerm() uint64 { return c.ctrlTerm.Load() }
+
+// FencedCommands counts recovery commands rejected for carrying a stale
+// controller term — each one is a deposed leader's write that fencing
+// stopped from reaching the ring.
+func (c *Chain) FencedCommands() uint64 { return c.fencedCt.Value() }
+
+func (c *Chain) checkFence(term uint64) error {
+	if term < c.ctrlTerm.Load() {
+		c.fencedCt.Inc()
+		return ErrFenced
+	}
+	return nil
 }
 
 // TestMonitors builds n trivial counting middleboxes for probes and tests.

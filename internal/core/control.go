@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ftsfc/ftc/internal/netsim"
@@ -19,6 +20,7 @@ const (
 	rpcSetRoute = "ftc.setroute"
 	rpcPing     = "ftc.ping"
 	rpcSpill    = "ftc.spill"
+	rpcFence    = "ftc.fence"
 )
 
 func (r *Replica) registerControl() {
@@ -27,9 +29,74 @@ func (r *Replica) registerControl() {
 	r.sim.RegisterRPC(rpcSetGen, r.handleSetGen)
 	r.sim.RegisterRPC(rpcSetRoute, r.handleSetRoute)
 	r.sim.RegisterRPC(rpcSpill, r.handleSpill)
+	r.sim.RegisterRPC(rpcFence, r.handleFence)
 	r.sim.RegisterRPC(rpcPing, func(netsim.NodeID, []byte) ([]byte, error) {
 		return []byte{1}, nil
 	})
+}
+
+// fetchGateWait bounds how long a state fetch waits for a head's fetch
+// gate before reporting busy. Generous against burst holds (microseconds)
+// and contended schedulers, far below any recovery budget.
+const fetchGateWait = 250 * time.Millisecond
+
+// lockWithin acquires mu within the given wait, polling TryLock so the
+// attempt never enqueues as a writer (a pending writer would block the data
+// path's read-side gate acquisitions).
+func lockWithin(mu *sync.RWMutex, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		if mu.TryLock() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// checkCtrlTerm rejects a routing/generation command whose controller term
+// is below the replica's fence floor: a deposed orchestrator leader
+// replaying a stale recovery command over the control plane (DESIGN.md
+// §14). Term 0 is the legacy unfenced dialect and passes until a fence is
+// raised.
+func (r *Replica) checkCtrlTerm(term uint64) error {
+	if term < r.ctrlTerm.Load() {
+		r.stats.FencedCmds.Add(1)
+		return ErrFenced
+	}
+	return nil
+}
+
+// FenceTerm raises the replica's controller fence floor to term (monotonic;
+// lower values are no-ops) and returns the resulting floor. ftcd presets it
+// at boot with -min-controller-term so a restarted replica cannot be
+// adopted by a leader deposed while it was down.
+func (r *Replica) FenceTerm(term uint64) uint64 {
+	for {
+		cur := r.ctrlTerm.Load()
+		if term <= cur {
+			return cur
+		}
+		if r.ctrlTerm.CompareAndSwap(cur, term) {
+			return term
+		}
+	}
+}
+
+// ControllerTerm returns the replica's current controller fence floor.
+func (r *Replica) ControllerTerm() uint64 { return r.ctrlTerm.Load() }
+
+// handleFence raises the fence floor on behalf of a newly elected
+// orchestrator leader and answers with the resulting floor, so the leader
+// learns if an even newer term already claimed the replica.
+func (r *Replica) handleFence(_ netsim.NodeID, req []byte) ([]byte, error) {
+	if len(req) != 8 {
+		return nil, ErrDecode
+	}
+	floor := r.FenceTerm(binary.BigEndian.Uint64(req))
+	return binary.BigEndian.AppendUint64(nil, floor), nil
 }
 
 // handleRepair serves missing piggyback logs to a group successor whose MAX
@@ -99,7 +166,15 @@ func (r *Replica) handleFetch(_ netsim.NodeID, req []byte) ([]byte, error) {
 		// torn cut would double-apply delta updates or lose a burst's logs
 		// at the recovering replica.
 		h := r.head
-		h.fetchMu.Lock()
+		if !lockWithin(&h.fetchMu, fetchGateWait) {
+			// A burst normally holds the gate for microseconds; failing to
+			// get it for this long means a worker is parked mid-burst on
+			// dependencies only the recovery itself will deliver. Report
+			// busy instead of queueing as a writer: the caller falls over
+			// to the next alive group member, and a queued writer would
+			// stall the data path behind us.
+			return nil, fmt.Errorf("core: replica %d fetch gate busy for mb %d", r.idx, mb)
+		}
 		fs.Vector = h.Vector()
 		fs.Logs = h.Buffer().all()
 		fs.Snapshot = h.Store().Snapshot()
@@ -112,35 +187,53 @@ func (r *Replica) handleFetch(_ netsim.NodeID, req []byte) ([]byte, error) {
 	return encodeFetchState(fs), nil
 }
 
+// handleSetGen fences on the leading controller term, then installs the
+// chain generation.
 func (r *Replica) handleSetGen(_ netsim.NodeID, req []byte) ([]byte, error) {
-	if len(req) != 4 {
+	if len(req) != 12 {
 		return nil, ErrDecode
 	}
-	r.SetGen(binary.BigEndian.Uint32(req))
+	if err := r.checkCtrlTerm(binary.BigEndian.Uint64(req[:8])); err != nil {
+		return nil, err
+	}
+	r.SetGen(binary.BigEndian.Uint32(req[8:]))
 	return nil, nil
 }
 
 // handleSetRoute updates one ring position's fabric ID: "the orchestrator
 // updates routing rules in the network to steer traffic through the new
-// replica" (§4.1).
+// replica" (§4.1). The leading controller term fences out rerouting
+// commands from deposed leaders.
 func (r *Replica) handleSetRoute(_ netsim.NodeID, req []byte) ([]byte, error) {
-	if len(req) < 2 {
+	if len(req) < 10 {
 		return nil, ErrDecode
 	}
-	idx := int(binary.BigEndian.Uint16(req[:2]))
-	r.SetRoute(idx, netsim.NodeID(req[2:]))
+	if err := r.checkCtrlTerm(binary.BigEndian.Uint64(req[:8])); err != nil {
+		return nil, err
+	}
+	idx := int(binary.BigEndian.Uint16(req[8:10]))
+	r.SetRoute(idx, netsim.NodeID(req[10:]))
 	return nil, nil
 }
 
-// EncodeSetRoute builds the request body for the rpcSetRoute handler.
-func EncodeSetRoute(idx int, id netsim.NodeID) []byte {
-	b := binary.BigEndian.AppendUint16(nil, uint16(idx))
+// EncodeSetRoute builds the request body for the rpcSetRoute handler. term
+// is the issuing controller's fencing term (0 for unfenced legacy callers).
+func EncodeSetRoute(term uint64, idx int, id netsim.NodeID) []byte {
+	b := binary.BigEndian.AppendUint64(nil, term)
+	b = binary.BigEndian.AppendUint16(b, uint16(idx))
 	return append(b, []byte(id)...)
 }
 
-// EncodeSetGen builds the request body for the rpcSetGen handler.
-func EncodeSetGen(gen uint32) []byte {
-	return binary.BigEndian.AppendUint32(nil, gen)
+// EncodeSetGen builds the request body for the rpcSetGen handler. term is
+// the issuing controller's fencing term (0 for unfenced legacy callers).
+func EncodeSetGen(term uint64, gen uint32) []byte {
+	b := binary.BigEndian.AppendUint64(nil, term)
+	return binary.BigEndian.AppendUint32(b, gen)
+}
+
+// EncodeFence builds the request body for the rpcFence handler.
+func EncodeFence(term uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, term)
 }
 
 // ControlRPC exposes the control-plane names for the orchestrator package.
@@ -153,6 +246,7 @@ const (
 	RPCSetGen   = rpcSetGen
 	RPCSetRoute = rpcSetRoute
 	RPCPing     = rpcPing
+	RPCFence    = rpcFence
 )
 
 // FetchFrom performs a recovery state fetch from the replica at src for
@@ -245,11 +339,23 @@ func (r *Replica) followerSources(mb int) []int {
 }
 
 // fetchFirst tries each candidate ring position in order, returning the
-// first successful fetch.
+// first successful fetch. Each candidate gets an equal slice of the
+// remaining deadline, not the whole budget: a source whose fetch gate is
+// wedged behind a burst worker blocked on the failed replica's own missing
+// deltas would otherwise eat the full recovery timeout and leave the
+// healthy fallback candidates an already-expired context — a circular wait
+// where recovering the ring needs a fetch that only completes once the ring
+// is recovered.
 func (r *Replica) fetchFirst(ctx context.Context, peerID func(int) netsim.NodeID, mb uint16, candidates []int) (*FetchState, error) {
 	var lastErr error
-	for _, c := range candidates {
-		fs, err := FetchFrom(ctx, r.fabric, r.sim.ID(), peerID(c), mb)
+	for i, c := range candidates {
+		cctx, cancel := ctx, context.CancelFunc(func() {})
+		if dl, ok := ctx.Deadline(); ok && len(candidates) > i+1 {
+			slice := time.Until(dl) / time.Duration(len(candidates)-i)
+			cctx, cancel = context.WithTimeout(ctx, slice)
+		}
+		fs, err := FetchFrom(cctx, r.fabric, r.sim.ID(), peerID(c), mb)
+		cancel()
 		if err == nil {
 			return fs, nil
 		}

@@ -76,18 +76,37 @@ func TestControlRPCRoundTrips(t *testing.T) {
 		t.Fatal("ping failed")
 	}
 	// SetGen via RPC.
-	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCSetGen, EncodeSetGen(42)); err != nil {
+	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCSetGen, EncodeSetGen(0, 42)); err != nil {
 		t.Fatal(err)
 	}
 	if h.chain.Replica(0).Gen() != 42 {
 		t.Fatalf("gen = %d", h.chain.Replica(0).Gen())
 	}
 	// SetRoute via RPC.
-	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCSetRoute, EncodeSetRoute(1, "elsewhere")); err != nil {
+	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCSetRoute, EncodeSetRoute(0, 1, "elsewhere")); err != nil {
 		t.Fatal(err)
 	}
 	if h.chain.Replica(0).nextHop() != "elsewhere" {
 		t.Fatalf("route = %s", h.chain.Replica(0).nextHop())
+	}
+	// Fencing: raise the floor, then replay a stale term — the command must
+	// be rejected and counted, while the fenced floor answers in kind.
+	if resp, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCFence, EncodeFence(7)); err != nil {
+		t.Fatal(err)
+	} else if got := binary.BigEndian.Uint64(resp); got != 7 {
+		t.Fatalf("fence floor = %d, want 7", got)
+	}
+	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCSetRoute, EncodeSetRoute(3, 1, "stale")); err == nil {
+		t.Fatal("stale-term setroute accepted")
+	}
+	if h.chain.Replica(0).nextHop() == "stale" {
+		t.Fatal("stale-term setroute mutated the route")
+	}
+	if got := h.chain.Replica(0).Stats().FencedCmds.Load(); got != 1 {
+		t.Fatalf("FencedCmds = %d, want 1", got)
+	}
+	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCSetGen, EncodeSetGen(7, 43)); err != nil {
+		t.Fatalf("current-term setgen rejected: %v", err)
 	}
 	// Fetch for an unknown middlebox errors.
 	if _, err := h.fabric.Call(ctx, "gen", h.chain.RingID(0), RPCFetch, encodeFetchReq(9)); err == nil {

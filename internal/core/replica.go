@@ -28,6 +28,7 @@ type Stats struct {
 	Duplicates    atomic.Uint64 // duplicate logs suppressed
 	MBErrors      atomic.Uint64 // middlebox processing errors
 	Propagating   atomic.Uint64 // propagating packets emitted
+	FencedCmds    atomic.Uint64 // control commands rejected for a stale controller term
 
 	// Goodput accounting on the inter-replica hops (bytes). AppBytesOut is
 	// the application frame (headers + payload) before the trailer went on;
@@ -68,6 +69,11 @@ type Replica struct {
 	followers map[uint16]*Follower
 
 	gen atomic.Uint32
+
+	// ctrlTerm is the controller fence floor: the highest orchestrator
+	// leader term this replica has acknowledged. Routing/generation commands
+	// below it are rejected (stats.FencedCmds).
+	ctrlTerm atomic.Uint64
 
 	routeMu sync.RWMutex
 	ringIDs []netsim.NodeID

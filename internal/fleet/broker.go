@@ -23,6 +23,12 @@ type TraceFunc func(format string, args ...any)
 type Options struct {
 	// Trace, if set, receives a timestamped line per broker event.
 	Trace TraceFunc
+	// OrchHook, if set, is called once per launched chain with its
+	// orchestrator ensemble, before monitoring starts. Fault-injection
+	// tests hook it to attack the control plane mid-run (e.g. kill the
+	// leader at a recovery phase) and prove the broker rides out the
+	// failover.
+	OrchHook func(chain string, e *orch.Ensemble)
 }
 
 // expiryBase anchors every chain's manual expiry clock: positive (the
@@ -48,7 +54,7 @@ type chainRec struct {
 	servers Placement
 
 	chain *core.Chain
-	o     *orch.Orchestrator
+	o     *orch.Ensemble
 	gen   *tgen.Generator
 	sink  *tgen.Sink
 
@@ -76,9 +82,10 @@ func (r *chainRec) setState(s State) { r.state.Store(int32(s)) }
 // node, and every chain record. Fleet.mu guards the pool and the record
 // map; individual chain lifecycles serialize on their own rec.mu.
 type Fleet struct {
-	scn   Scenario
-	trace TraceFunc
-	start time.Time
+	scn      Scenario
+	trace    TraceFunc
+	orchHook func(string, *orch.Ensemble)
+	start    time.Time
 
 	fab   *netsim.Fabric
 	steer *Steer
@@ -122,13 +129,14 @@ func Run(scn Scenario, opt Options) (*Report, error) {
 	defer fab.Stop()
 
 	f := &Fleet{
-		scn:   scn,
-		trace: trace,
-		start: start,
-		fab:   fab,
-		steer: newSteer(fab, "fleet-steer"),
-		pool:  NewPool(scn.Pool.Servers, scn.Pool.CPUPerServer, scn.Pool.BandwidthMbps),
-		recs:  make(map[string]*chainRec, len(specs)),
+		scn:      scn,
+		trace:    trace,
+		orchHook: opt.OrchHook,
+		start:    start,
+		fab:      fab,
+		steer:    newSteer(fab, "fleet-steer"),
+		pool:     NewPool(scn.Pool.Servers, scn.Pool.CPUPerServer, scn.Pool.BandwidthMbps),
+		recs:     make(map[string]*chainRec, len(specs)),
 	}
 
 	// Crash timeline, concurrent with arrivals.
@@ -269,13 +277,22 @@ func (f *Fleet) launch(rec *chainRec) error {
 
 	// Conservative heartbeat detection, as in the chaos runner: the broker
 	// drives recoveries itself right after each injected crash, so the
-	// detector is redundancy that must not false-positive under load.
-	rec.o = orch.New(orch.Config{
+	// detector is redundancy that must not false-positive under load. The
+	// orchestrator is a per-chain ensemble (scenario orch_members); with
+	// replication on, the chain's control plane survives leader crashes
+	// mid-recovery without the broker noticing anything but latency.
+	rec.o = orch.NewEnsemble(orch.Config{
 		HeartbeatEvery:   15 * time.Millisecond,
 		HeartbeatTimeout: 200 * time.Millisecond,
 		Misses:           4,
 		RecoveryTimeout:  2 * time.Second,
+		Members:          f.scn.orchMembers(),
+		LeaseEvery:       15 * time.Millisecond,
+		ElectionAfter:    250 * time.Millisecond,
 	}, f.fab, netsim.NodeID(prefix+"-orch"), rec.chain)
+	if f.orchHook != nil {
+		f.orchHook(spec.Name, rec.o)
+	}
 	rec.o.Start()
 
 	rec.gen, err = tgen.NewGenerator(f.fab, netsim.NodeID(prefix+"-gen"), f.steer.ID(), tgen.Spec{
@@ -425,6 +442,12 @@ func (f *Fleet) CrashServer(name string) int {
 		}
 		recovered += f.recoverChain(rec, byChain[chainName])
 	}
+	// Sample the replica-only peak once, now that every lost position has
+	// its new server: mid-response states (a replica reassigned before the
+	// head that will share its server) are transients, not placements.
+	f.mu.Lock()
+	f.pool.noteReplicaOnly()
+	f.mu.Unlock()
 	return recovered
 }
 

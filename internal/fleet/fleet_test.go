@@ -3,7 +3,10 @@ package fleet
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+
+	"github.com/ftsfc/ftc/internal/orch"
 )
 
 // traceTo wires broker traces into the test log under -v.
@@ -285,5 +288,96 @@ crashes:
 	}
 	if !found {
 		t.Fatalf("budget overrun missing from violations: %v", rep.Violations())
+	}
+}
+
+// TestFleetSurvivesOrchestratorFailover runs a shared-pool fleet with
+// replicated per-chain orchestrators (orch_members: 3), kills each
+// chain's orchestrator leader the moment its first recovery spawns a
+// replacement, and crashes a shared server mid-run to force recoveries
+// under load. The brokered chains must still end reclaimed, convergent,
+// and fully restored — the failover shows up as nothing but latency —
+// and at least one ensemble must have actually failed over.
+func TestFleetSurvivesOrchestratorFailover(t *testing.T) {
+	yaml := `
+name: orch-failover
+seed: 23
+orch_members: 3
+pool:
+  servers: 4
+  cpu_per_server: 4
+  bandwidth_mbps: 1000
+traffic:
+  packet_size: 256
+  rate_scale: 0.004
+  flow_ttl_ms: 60000
+chains:
+  - name: c0
+    arrival_ms: 0
+    ttl_ms: 3200
+    bandwidth_mbps: 300
+    users: 16
+    f: 1
+    middleboxes: [monitor, flowcounter]
+  - name: c1
+    arrival_ms: 100
+    ttl_ms: 3100
+    bandwidth_mbps: 300
+    users: 12
+    f: 1
+    middleboxes: [flowcounter]
+crashes:
+  - at_ms: 1200
+    server: auto
+`
+	scn, err := ParseScenario([]byte(yaml))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var mu sync.Mutex
+	ensembles := map[string]*orch.Ensemble{}
+	opt := traceTo(t)
+	opt.OrchHook = func(chain string, e *orch.Ensemble) {
+		mu.Lock()
+		ensembles[chain] = e
+		mu.Unlock()
+		var once sync.Once
+		e.OnPhase = func(ev orch.PhaseEvent) {
+			once.Do(func() {
+				t.Logf("killing %s orchestrator leader at phase %v of ring %d recovery", chain, ev.Phase, ev.RingIndex)
+				e.CrashLeader()
+			})
+		}
+	}
+	rep, err := Run(scn, opt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+	if rep.RecoveryFailures != 0 {
+		t.Fatalf("%d ring positions unrestored after orchestrator failover", rep.RecoveryFailures)
+	}
+	recoveries, failedOver := 0, 0
+	for _, c := range rep.Chains {
+		if c.State != StateReclaimed {
+			t.Errorf("chain %s ended %v, want reclaimed", c.Name, c.State)
+		}
+		recoveries += c.Recoveries
+	}
+	if recoveries == 0 {
+		t.Fatal("the server crash forced no recoveries; the failover path was never exercised")
+	}
+	mu.Lock()
+	for chain, e := range ensembles {
+		if e.Takeovers() >= 2 {
+			failedOver++
+			t.Logf("chain %s: %d takeovers, %d recoveries logged", chain, e.Takeovers(), len(e.Reports()))
+		}
+	}
+	mu.Unlock()
+	if failedOver == 0 {
+		t.Fatal("no chain's orchestrator ensemble ever failed over")
 	}
 }

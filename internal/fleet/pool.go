@@ -146,12 +146,14 @@ func (p *Pool) fits(s *Server, extraCPU int, demand float64) bool {
 //
 // Placement policy (DESIGN.md §12): positions are placed head-first.
 // Middlebox positions spread by worst-fit (most free bandwidth, then most
-// free CPU, then name for determinism). Extension (replica-only) positions
-// instead prefer servers already hosting middlebox positions of other
-// chains, so no server becomes a dedicated replica server; ties fall back
-// to the same worst-fit order. A chain never places two ring positions on
-// one server — one server crash must cost it at most one replica (its
-// f-failure envelope).
+// free CPU, then name for determinism), except that a head first prefers
+// any server currently hosting only replicas — rescuing it from
+// dedicated-replica status after earlier chains departed. Extension
+// (replica-only) positions instead prefer servers already hosting
+// middlebox positions of other chains, so no server becomes a dedicated
+// replica server; ties fall back to the same worst-fit order. A chain
+// never places two ring positions on one server — one server crash must
+// cost it at most one replica (its f-failure envelope).
 func (p *Pool) Admit(spec ChainSpec) (Placement, error) {
 	m := spec.RingSize()
 	demand := spec.Demand()
@@ -196,6 +198,17 @@ func (p *Pool) Admit(spec ChainSpec) (Placement, error) {
 				sh, bh := s.mbHosts > 0, b.mbHosts > 0
 				if sh != bh {
 					if sh {
+						best = ci
+					}
+					continue
+				}
+			} else {
+				// The symmetric rule: a middlebox head prefers a server
+				// currently stuck hosting only replicas, rescuing it from
+				// dedicated-replica status.
+				sr, br := s.replicaOnly(), b.replicaOnly()
+				if sr != br {
+					if sr {
 						best = ci
 					}
 					continue
@@ -287,17 +300,34 @@ func (p *Pool) CrashServer(name string, specs map[string]ChainSpec) []Assignment
 
 // Reassign places chain name's ring position idx on a new server after a
 // crash, excluding servers the chain already occupies (the per-chain
-// anti-affinity invariant). It prefers servers with room; if none fits, it
-// overcommits the least-loaded up server rather than leaving the chain
-// under-replicated — availability over capacity, recorded in the server's
-// overbook counter. Returns the chosen server name, or "" if the pool has
-// no up server at all.
+// anti-affinity invariant). A reassigned extension replica keeps the
+// admission-time cross-chain sharing bias — it prefers servers already
+// hosting middlebox heads, so crash recovery cannot mint the dedicated
+// replica server that admission worked to avoid. Within that, it prefers
+// servers with room; if none fits, it overcommits the least-loaded up
+// server rather than leaving the chain under-replicated — availability
+// over capacity, recorded in the server's overbook counter. Returns the
+// chosen server name, or "" if the pool has no up server at all.
 func (p *Pool) Reassign(spec ChainSpec, idx int) string {
 	demand := spec.Demand()
+	isMB := idx < len(spec.Middleboxes)
 	var fit, any *Server
 	better := func(cur, alt *Server) bool {
 		if cur == nil {
 			return true
+		}
+		if !isMB {
+			ah, ch := alt.mbHosts > 0, cur.mbHosts > 0
+			if ah != ch {
+				return ah
+			}
+		} else {
+			// Symmetric rescue, as in Admit: a reassigned head prefers a
+			// server currently hosting only replicas.
+			ar, cr := alt.replicaOnly(), cur.replicaOnly()
+			if ar != cr {
+				return ar
+			}
 		}
 		fa := alt.BWCapMbps - alt.usedBW
 		fc := cur.BWCapMbps - cur.usedBW
@@ -328,7 +358,10 @@ func (p *Pool) Reassign(spec ChainSpec, idx int) string {
 		return ""
 	}
 	chosen.reserve(spec.Name, idx, p.cpuPerReplica, demand, idx < len(spec.Middleboxes))
-	p.noteReplicaOnly()
+	// No peak sample here: one crash response reassigns several positions
+	// (a head and other chains' replicas may swap servers), and sampling
+	// mid-batch would charge the metric for a half-finished state. The
+	// broker samples once after the whole crash response.
 	return chosen.Name
 }
 

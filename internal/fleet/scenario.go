@@ -36,6 +36,10 @@ type Scenario struct {
 	Traffic TrafficConfig `yaml:"traffic"`
 	// Arrivals, when count > 0, generates chains via a Poisson process.
 	Arrivals ArrivalsConfig `yaml:"arrivals"`
+	// OrchMembers is the per-chain orchestrator ensemble size in members
+	// (count): 0 or 1 runs an unreplicated orchestrator, 3 survives one
+	// orchestrator crash, 5 survives two. Odd sizes keep majorities clean.
+	OrchMembers int `yaml:"orch_members"`
 	// Chains lists explicitly scheduled chains (merged with Arrivals).
 	Chains []ChainConfig `yaml:"chains"`
 	// Crashes schedules mid-run server crashes.
@@ -185,6 +189,14 @@ func (s Scenario) WithDefaults() Scenario {
 		s.Traffic.FlowTTLMs = 600000
 	}
 	return s
+}
+
+// orchMembers is the effective per-chain orchestrator ensemble size.
+func (s Scenario) orchMembers() int {
+	if s.OrchMembers < 1 {
+		return 1
+	}
+	return s.OrchMembers
 }
 
 // scale applies the scenario TimeScale to a duration.

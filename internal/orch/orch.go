@@ -72,6 +72,19 @@ type Config struct {
 	Misses int
 	// RecoveryTimeout bounds one full recovery.
 	RecoveryTimeout time.Duration
+
+	// Members is the ensemble size (leader + followers) for NewEnsemble;
+	// the single-node Orchestrator ignores it. 1 runs an unreplicated
+	// leader (no failover); 3 survives one orchestrator crash; 5 survives
+	// two, including killing the new leader during its takeover.
+	Members int
+	// LeaseEvery is the leader's lease-renewal period to followers
+	// (ensemble only).
+	LeaseEvery time.Duration
+	// ElectionAfter is how long a follower waits without leader contact
+	// before standing for election; candidacy is additionally staggered
+	// by rank so members stand one at a time (ensemble only).
+	ElectionAfter time.Duration
 }
 
 // WithDefaults fills zero fields.
@@ -87,6 +100,15 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.RecoveryTimeout <= 0 {
 		c.RecoveryTimeout = 30 * time.Second
+	}
+	if c.Members <= 0 {
+		c.Members = 1
+	}
+	if c.LeaseEvery <= 0 {
+		c.LeaseEvery = 10 * time.Millisecond
+	}
+	if c.ElectionAfter <= 0 {
+		c.ElectionAfter = 12 * c.LeaseEvery
 	}
 	return c
 }
@@ -104,6 +126,13 @@ type RecoveryReport struct {
 	Reroute    time.Duration
 	Total      time.Duration
 	Err        error
+	// Term is the leader term that completed the recovery (ensemble
+	// only; 0 for the single Orchestrator).
+	Term uint64
+	// Resumed marks a recovery continued across a leader failover: its
+	// phase timings span the takeover gap, so latency-bound checks
+	// should treat it separately.
+	Resumed bool
 }
 
 // Orchestrator monitors one FTC chain and repairs it on failure.
@@ -195,6 +224,11 @@ func (o *Orchestrator) monitor(idx int) {
 		case <-o.stopped:
 			return
 		case <-t.C:
+		}
+		if o.node.Crashed() {
+			// A fail-stopped orchestrator must not keep heartbeating (or
+			// leak its monitor goroutines) from beyond the grave.
+			return
 		}
 		target := o.chain.RingID(idx)
 		if core.Ping(context.Background(), o.fabric, o.node.ID(), target, o.cfg.HeartbeatTimeout) {
